@@ -1,0 +1,64 @@
+// Ablation of the replica-placement design choices DESIGN.md calls out:
+//   * Algorithm 2 (2D grid, row/column + environment constraints)
+//   * the greedy "best-first" strawman the paper rejects in §4.2
+//   * plain random placement
+//   * soft constraints (space over diversity -- the initial production
+//     configuration the paper rolled back, §7 lesson 3)
+// Each variant runs the one-year durability experiment and the availability
+// sweep so both dimensions of the trade-off are visible.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/cluster/datacenter.h"
+#include "src/experiments/availability.h"
+#include "src/experiments/cluster_scaling.h"
+#include "src/experiments/durability.h"
+
+int main() {
+  using namespace harvest;
+  PrintHeader("Ablation", "replica placement: Algorithm 2 vs greedy / random / soft variants");
+
+  Rng rng(2016);
+  BuildOptions build;
+  build.trace_slots = kSlotsPerDay * 2;
+  build.reimage_months = 12;
+  build.scale = 0.25 * BenchScale();
+  build.per_server_traces = false;
+  Cluster cluster = BuildCluster(DatacenterByName("DC-7"), build, rng);
+  Cluster busy = ScaleClusterUtilization(cluster, ScalingMethod::kLinear, 0.5);
+
+  const PlacementKind kinds[] = {PlacementKind::kHistory, PlacementKind::kGreedy,
+                                 PlacementKind::kRandom, PlacementKind::kSoft,
+                                 PlacementKind::kStock};
+
+  std::printf("\n%-14s %16s %18s\n", "policy", "lost%% (3x, 1y)", "failed%% (3x, 50%% util)");
+  for (PlacementKind kind : kinds) {
+    DurabilityOptions durability;
+    durability.placement = kind;
+    durability.replication = 3;
+    durability.num_blocks = static_cast<int64_t>(80000 * BenchScale());
+    durability.months = 12;
+    durability.seed = 2016;
+    DurabilityResult loss = RunDurabilityExperiment(cluster, durability);
+
+    AvailabilityOptions availability;
+    availability.placement = kind;
+    availability.replication = 3;
+    availability.num_blocks = static_cast<int64_t>(30000 * BenchScale());
+    availability.num_accesses = static_cast<int64_t>(100000 * BenchScale());
+    availability.seed = 2016;
+    AvailabilityResult failed = RunAvailabilityExperiment(busy, availability);
+
+    std::printf("%-14s %15.4f%% %17.3f%%\n", PlacementKindName(kind), loss.lost_percent,
+                failed.failed_percent);
+  }
+
+  PrintRule();
+  std::printf("Expected ordering: Algorithm 2 (HDFS-H) at or near the best on BOTH columns.\n"
+              "Greedy best-first looks good early but degrades one dimension (it fills the\n"
+              "safest tenants first and ignores the interaction); random fixes durability\n"
+              "correlation but not availability correlation; soft constraints trade loss for\n"
+              "fill rate (the paper's production lesson); stock is worst on both.\n");
+  return 0;
+}

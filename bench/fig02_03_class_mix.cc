@@ -1,0 +1,50 @@
+// Figures 2 and 3: percentages of primary tenants (Fig 2) and of servers
+// (Fig 3) per utilization class, for all ten datacenters. Paper shape:
+// constant tenants dominate Fig 2 and periodic tenants are a small minority,
+// yet periodic tenants cover ~40% of servers on average and
+// periodic+constant cover ~75% (Fig 3).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/experiments/characterization.h"
+
+int main() {
+  using namespace harvest;
+  PrintHeader("Figures 2 + 3", "tenant and server percentages per utilization class");
+
+  CharacterizationOptions options;
+  options.months = 3;  // pattern mixes need traces, not long reimage history
+  options.cluster_scale = 0.6 * BenchScale();
+  options.seed = 2016;
+  auto all = CharacterizeAllDatacenters(options);
+
+  std::printf("\nFig 2 -- %% of primary tenants per class\n");
+  std::printf("%-6s %10s %10s %14s %9s\n", "DC", "periodic", "constant", "unpredictable",
+              "tenants");
+  double periodic_server_sum = 0.0;
+  double predictable_server_sum = 0.0;
+  for (const auto& dc : all) {
+    std::printf("%-6s %9.1f%% %9.1f%% %13.1f%% %9d\n", dc.name.c_str(),
+                100.0 * dc.tenant_fraction[0], 100.0 * dc.tenant_fraction[1],
+                100.0 * dc.tenant_fraction[2], dc.num_tenants);
+  }
+
+  std::printf("\nFig 3 -- %% of servers per class\n");
+  std::printf("%-6s %10s %10s %14s %9s\n", "DC", "periodic", "constant", "unpredictable",
+              "servers");
+  for (const auto& dc : all) {
+    std::printf("%-6s %9.1f%% %9.1f%% %13.1f%% %9d\n", dc.name.c_str(),
+                100.0 * dc.server_fraction[0], 100.0 * dc.server_fraction[1],
+                100.0 * dc.server_fraction[2], dc.num_servers);
+    periodic_server_sum += dc.server_fraction[0];
+    predictable_server_sum += dc.server_fraction[0] + dc.server_fraction[1];
+  }
+
+  PrintRule();
+  std::printf("Averages across datacenters: periodic servers %.1f%% (paper ~40%%), "
+              "periodic+constant %.1f%% (paper ~75%%).\n",
+              100.0 * periodic_server_sum / all.size(),
+              100.0 * predictable_server_sum / all.size());
+  return 0;
+}

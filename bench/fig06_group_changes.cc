@@ -1,0 +1,47 @@
+// Figure 6: CDF of the number of times each primary tenant changed reimage
+// frequency groups (infrequent / intermediate / frequent tertiles) from one
+// month to the next over three years. Paper anchor: at least 80% of primary
+// tenants changed groups 8 or fewer times out of the 35 possible changes.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/experiments/characterization.h"
+
+int main() {
+  using namespace harvest;
+  PrintHeader("Figure 6", "reimage-group changes over three years (CDF across tenants)");
+
+  CharacterizationOptions options;
+  options.months = 36;
+  options.cluster_scale = 0.5 * BenchScale();
+  options.seed = 2016;
+
+  const char* plotted[] = {"DC-0", "DC-7", "DC-9", "DC-3", "DC-1"};
+  std::printf("\n%-6s", "DC");
+  for (int limit : {0, 2, 4, 6, 8, 12, 16, 20}) {
+    std::printf("   <=%-3d", limit);
+  }
+  std::printf("\n");
+
+  for (const char* name : plotted) {
+    DatacenterCharacterization dc = CharacterizeDatacenter(DatacenterByName(name), options);
+    std::printf("%-6s", name);
+    for (int limit : {0, 2, 4, 6, 8, 12, 16, 20}) {
+      int below = 0;
+      for (int changes : dc.group_changes) {
+        if (changes <= limit) {
+          ++below;
+        }
+      }
+      std::printf(" %6.1f%%", 100.0 * below / std::max<size_t>(1, dc.group_changes.size()));
+    }
+    std::printf("   (%d tenants, %d transitions)\n", dc.num_tenants,
+                dc.group_change_transitions);
+  }
+
+  PrintRule();
+  std::printf("Paper anchor: >= 80%% of tenants at <= 8 changes of 35 -- check the <=8 "
+              "column above.\n");
+  return 0;
+}

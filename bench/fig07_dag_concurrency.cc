@@ -1,0 +1,55 @@
+// Figure 7: the TPC-DS query 19 execution DAG and Tez-H's estimate of the
+// maximum amount of concurrent resources via breadth-first traversal (the
+// paper derives 469 concurrent containers). Also prints the estimate for
+// every query of the synthetic suite.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/jobs/tpcds.h"
+
+int main() {
+  using namespace harvest;
+  PrintHeader("Figure 7", "job execution DAG and max-concurrency estimate (TPC-DS q19)");
+
+  JobDag q19 = BuildQuery19();
+  std::vector<int> levels = q19.Levels();
+  std::printf("\n%-12s %8s %8s %12s %s\n", "stage", "tasks", "level", "task secs", "parents");
+  for (int s = 0; s < q19.num_stages(); ++s) {
+    const Stage& stage = q19.stage(s);
+    std::printf("%-12s %8d %8d %12.0f ", stage.name.c_str(), stage.num_tasks,
+                levels[static_cast<size_t>(s)], stage.task_seconds);
+    for (int parent : stage.parents) {
+      std::printf("%s ", q19.stage(parent).name.c_str());
+    }
+    std::printf("\n");
+  }
+
+  int max_level = 0;
+  for (int level : levels) {
+    max_level = std::max(max_level, level);
+  }
+  std::printf("\nConcurrent tasks per BFS level:");
+  for (int level = 0; level <= max_level; ++level) {
+    int tasks = 0;
+    for (int s = 0; s < q19.num_stages(); ++s) {
+      if (levels[static_cast<size_t>(s)] == level) {
+        tasks += q19.stage(s).num_tasks;
+      }
+    }
+    std::printf(" (%d)", tasks);
+  }
+  std::printf("\nEstimated max concurrent containers: %d (paper: 469)\n",
+              q19.MaxConcurrentTasks());
+
+  PrintRule();
+  std::printf("Max-concurrency estimates across the 52-query suite:\n");
+  auto suite = BuildTpcDsSuite(2016);
+  for (size_t q = 0; q < suite.size(); ++q) {
+    std::printf("  %-10s stages=%2d max_concurrency=%4d critical_path=%5.0fs\n",
+                suite[q].name().c_str(), suite[q].num_stages(), suite[q].MaxConcurrentTasks(),
+                suite[q].CriticalPathSeconds());
+  }
+  return 0;
+}

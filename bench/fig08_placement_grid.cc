@@ -1,0 +1,61 @@
+// Figure 8: the two-dimensional clustering scheme for replica placement --
+// reimage-frequency columns x peak-utilization rows, each cell holding the
+// same amount of harvestable space -- plus an example selection for one
+// three-way-replicated block (no repeated row or column, distinct
+// environments).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/cluster/datacenter.h"
+#include "src/core/replica_placement.h"
+
+int main() {
+  using namespace harvest;
+  PrintHeader("Figure 8", "two-dimensional placement grid and example selection");
+
+  Rng rng(2016);
+  BuildOptions build;
+  build.trace_slots = kSlotsPerDay * 2;
+  build.reimage_months = 1;
+  build.scale = 0.5 * BenchScale();
+  build.per_server_traces = false;
+  Cluster cluster = BuildCluster(DatacenterByName("DC-9"), build, rng);
+
+  PlacementGrid grid = PlacementGrid::Build(CollectPlacementStats(cluster));
+  std::printf("\n%zu tenants, %zu servers, %lld total harvestable blocks, balance ratio %.2f\n",
+              cluster.num_tenants(), cluster.num_servers(), (long long)grid.total_blocks(),
+              grid.BalanceRatio());
+
+  std::printf("\n%-28s %-22s %-22s %-22s\n", "peak util \\ reimages",
+              "infrequent (col 0)", "intermediate (col 1)", "frequent (col 2)");
+  const char* row_names[] = {"low    (row 0)", "medium (row 1)", "high   (row 2)"};
+  for (int r = 0; r < kGridDim; ++r) {
+    std::printf("%-28s", row_names[r]);
+    for (int c = 0; c < kGridDim; ++c) {
+      char cell[64];
+      std::snprintf(cell, sizeof(cell), "%zu tenants/%lldK blk",
+                    grid.cell(r, c).tenants.size(),
+                    (long long)(grid.cell(r, c).total_blocks / 1000));
+      std::printf(" %-22s", cell);
+    }
+    std::printf("\n");
+  }
+
+  ReplicaPlacer placer(&cluster, &grid);
+  auto always = [](ServerId) { return true; };
+  PrintRule();
+  std::printf("Example placements (replication 3; writer cell first):\n");
+  for (int example = 0; example < 5; ++example) {
+    ServerId writer = static_cast<ServerId>(rng.NextBounded(cluster.num_servers()));
+    std::vector<ServerId> replicas = placer.Place(writer, 3, always, rng);
+    std::printf("  block %d:", example);
+    for (ServerId s : replicas) {
+      auto [row, col] = grid.CellOfTenant(cluster.server(s).tenant);
+      std::printf(" server %d [tenant %d, cell (%d,%d)]", s, cluster.server(s).tenant, row, col);
+    }
+    std::printf("\n");
+  }
+  std::printf("Shape check: within each block no row or column repeats (paper lines 9-11)\n");
+  return 0;
+}

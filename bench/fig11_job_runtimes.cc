@@ -1,0 +1,68 @@
+// Figure 11: the secondary tenants' (TPC-DS job) run times on the testbed
+// for YARN-Stock, YARN-PT, and YARN-H/Tez-H. Paper shape: Stock is fastest
+// (at the unacceptable cost of ruining the primary tenant); PT is slowest
+// (1181 s average in the paper) because it kills and re-runs tasks; H lowers
+// the average significantly (938 s in the paper). Harvesting also lifts the
+// testbed's average CPU utilization from 33% to 54%.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/cluster/datacenter.h"
+#include "src/experiments/scheduling_sim.h"
+#include "src/jobs/tpcds.h"
+#include "src/util/stats.h"
+
+int main() {
+  using namespace harvest;
+  PrintHeader("Figure 11", "secondary tenants' run times under the YARN variants (testbed)");
+
+  const double horizon = 5.0 * 3600.0 * std::min(1.0, BenchScale());
+  Rng rng(2016);
+  Cluster cluster = BuildTestbedCluster(102, kSlotsPerDay * 2, rng);
+  auto suite = BuildTpcDsSuite(2016);
+
+  std::printf("\n%-14s %8s %10s %10s %10s %10s %8s %9s\n", "system", "jobs", "mean",
+              "median", "p90", "max", "kills", "util");
+  double pt_mean = 0.0;
+  double h_mean = 0.0;
+  double primary_util = 0.0;
+  for (SchedulerMode mode :
+       {SchedulerMode::kStock, SchedulerMode::kPrimaryAware, SchedulerMode::kHistory}) {
+    SchedulingSimOptions options;
+    options.mode = mode;
+    options.horizon_seconds = horizon;
+    options.mean_interarrival_seconds = 300.0;
+    options.seed = 2016;
+    SchedulingSimResult result = RunSchedulingSimulation(cluster, suite, options);
+    std::vector<double> times;
+    for (const auto& job : result.jobs) {
+      times.push_back(job.execution_seconds);
+    }
+    std::sort(times.begin(), times.end());
+    const char* label = mode == SchedulerMode::kStock ? "YARN-Stock"
+                        : mode == SchedulerMode::kPrimaryAware ? "YARN-PT"
+                                                               : "YARN-H/Tez-H";
+    std::printf("%-14s %8lld %9.0fs %9.0fs %9.0fs %9.0fs %8lld %8.1f%%\n", label,
+                (long long)result.jobs_completed, result.average_execution_seconds,
+                PercentileSorted(times, 50.0), PercentileSorted(times, 90.0),
+                times.empty() ? 0.0 : times.back(), (long long)result.total_kills,
+                100.0 * result.average_total_utilization);
+    if (mode == SchedulerMode::kPrimaryAware) {
+      pt_mean = result.average_execution_seconds;
+    }
+    if (mode == SchedulerMode::kHistory) {
+      h_mean = result.average_execution_seconds;
+      primary_util = result.average_primary_utilization;
+    }
+  }
+
+  PrintRule();
+  std::printf("Shape check: Stock < H < PT mean run time. H improves on PT by %.1f%%\n"
+              "(paper: 1181 s -> 938 s, a 20.6%% reduction). Utilization: primary-only\n"
+              "%.1f%% vs harvested total above (paper: 33%% -> 54%%).\n",
+              pt_mean > 0.0 ? 100.0 * (pt_mean - h_mean) / pt_mean : 0.0,
+              100.0 * primary_util);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// §6.2 performance microbenchmarks, via google-benchmark: the most expensive
+// operations in the systems are the clustering and class selection in task
+// scheduling and data placement. Paper reference points (DC-9): utilization
+// clustering ~2 minutes single-threaded once per day off the critical path;
+// class selection < 1 ms; data placement clustering + selection ~2.55 ms per
+// new block vs 0.81 ms for stock HDFS.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/datacenter.h"
+#include "src/core/class_selector.h"
+#include "src/core/kmeans.h"
+#include "src/core/utilization_clustering.h"
+#include "src/signal/fft.h"
+#include "src/storage/placement.h"
+
+namespace harvest {
+namespace {
+
+const Cluster& SharedCluster() {
+  static const Cluster cluster = [] {
+    Rng rng(2016);
+    BuildOptions build;
+    build.trace_slots = kSlotsPerDay * 7;
+    build.reimage_months = 1;
+    build.scale = 0.5;
+    build.per_server_traces = false;
+    return BuildCluster(DatacenterByName("DC-9"), build, rng);
+  }();
+  return cluster;
+}
+
+void BM_FftMonthTrace(benchmark::State& state) {
+  std::vector<double> series(kSlotsPerMonth);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = 0.3 + 0.2 * std::sin(0.01 * static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MagnitudeSpectrum(series));
+  }
+}
+BENCHMARK(BM_FftMonthTrace);
+
+void BM_FrequencyProfile(benchmark::State& state) {
+  std::vector<double> series(kSlotsPerMonth);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = 0.3 + 0.2 * std::sin(0.01 * static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeFrequencyProfile(series));
+  }
+}
+BENCHMARK(BM_FrequencyProfile);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    points.push_back({rng.NextDouble(), rng.NextDouble(), rng.NextDouble(), rng.NextDouble()});
+  }
+  for (auto _ : state) {
+    Rng inner(2);
+    benchmark::DoNotOptimize(KMeansCluster(points, 5, inner));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(100)->Arg(1000);
+
+// The daily clustering service run (paper: ~2 min for DC-9 at production
+// scale; scaled fleet here).
+void BM_UtilizationClusteringService(benchmark::State& state) {
+  const Cluster& cluster = SharedCluster();
+  UtilizationClusteringService service;
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(service.Run(cluster, rng));
+  }
+}
+BENCHMARK(BM_UtilizationClusteringService)->Unit(benchmark::kMillisecond);
+
+// Class selection (paper: < 1 ms).
+void BM_ClassSelection(benchmark::State& state) {
+  const Cluster& cluster = SharedCluster();
+  UtilizationClusteringService service;
+  Rng setup(4);
+  ClusteringSnapshot snapshot = service.Run(cluster, setup);
+  ClassSelector selector(&snapshot);
+  std::vector<ClassState> states;
+  for (const auto& cls : snapshot.classes) {
+    states.push_back(ClassState{cls.id, cls.average_utilization, cls.total_cores / 2});
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(JobType::kLong, 100, states, rng));
+  }
+}
+BENCHMARK(BM_ClassSelection)->Unit(benchmark::kMicrosecond);
+
+// Replica placement per new block (paper: 2.55 ms for HDFS-H vs 0.81 ms for
+// stock, including the NN's data structure updates).
+void BM_StockPlacementPerBlock(benchmark::State& state) {
+  const Cluster& cluster = SharedCluster();
+  StockPlacement policy(&cluster);
+  auto always = [](ServerId) { return true; };
+  Rng rng(6);
+  for (auto _ : state) {
+    ServerId writer = static_cast<ServerId>(rng.NextBounded(cluster.num_servers()));
+    benchmark::DoNotOptimize(policy.Place(writer, 3, always, rng));
+  }
+}
+BENCHMARK(BM_StockPlacementPerBlock)->Unit(benchmark::kMicrosecond);
+
+void BM_HistoryPlacementPerBlock(benchmark::State& state) {
+  const Cluster& cluster = SharedCluster();
+  HistoryPlacement policy(&cluster);
+  auto always = [](ServerId) { return true; };
+  Rng rng(7);
+  for (auto _ : state) {
+    ServerId writer = static_cast<ServerId>(rng.NextBounded(cluster.num_servers()));
+    benchmark::DoNotOptimize(policy.Place(writer, 3, always, rng));
+  }
+}
+BENCHMARK(BM_HistoryPlacementPerBlock)->Unit(benchmark::kMicrosecond);
+
+// Grid construction (runs off the critical path in NN-H).
+void BM_PlacementGridBuild(benchmark::State& state) {
+  const Cluster& cluster = SharedCluster();
+  auto stats = CollectPlacementStats(cluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PlacementGrid::Build(stats));
+  }
+}
+BENCHMARK(BM_PlacementGridBuild)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace harvest
+
+BENCHMARK_MAIN();

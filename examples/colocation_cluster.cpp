@@ -1,0 +1,84 @@
+// Co-location scenario: run the paper's testbed experiment end to end --
+// a 102-server cluster of latency-critical primary tenants co-located with a
+// TPC-DS batch workload and harvested storage -- comparing the three system
+// stacks (Stock / PT / H) on every metric the paper reports: primary tail
+// latency, batch run times, task kills, failed storage accesses, and total
+// cluster utilization.
+//
+// Build & run:  ./build/examples/colocation_cluster
+
+#include <cstdio>
+
+#include "src/cluster/datacenter.h"
+#include "src/experiments/scheduling_sim.h"
+#include "src/jobs/tpcds.h"
+#include "src/util/stats.h"
+
+namespace {
+
+harvest::SummaryStats Summarize(const std::vector<double>& series) {
+  harvest::SummaryStats stats;
+  for (double v : series) {
+    stats.Add(v);
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace harvest;
+  Rng rng(7);
+  Cluster cluster = BuildTestbedCluster(102, kSlotsPerDay * 2, rng);
+  auto suite = BuildTpcDsSuite(7);
+
+  std::printf("co-location testbed: %zu servers, %zu tenants, 52-query TPC-DS suite\n",
+              cluster.num_servers(), cluster.num_tenants());
+  std::printf("reserve: %d cores + %d MB per server for primary bursts\n\n",
+              kDefaultReserve.cores, kDefaultReserve.memory_mb);
+
+  struct Stack {
+    const char* label;
+    SchedulerMode scheduler;
+    StorageVariant storage;
+  };
+  const Stack stacks[] = {
+      {"Stock  (unaware)", SchedulerMode::kStock, StorageVariant::kStock},
+      {"PT     (aware)  ", SchedulerMode::kPrimaryAware, StorageVariant::kPrimaryAware},
+      {"H      (history)", SchedulerMode::kHistory, StorageVariant::kHistory},
+  };
+
+  std::printf("%-18s %9s %9s %8s %9s %9s %8s\n", "stack", "p99(ms)", "jobs(s)", "kills",
+              "failed", "interf.", "util");
+  for (const Stack& stack : stacks) {
+    SchedulingSimOptions options;
+    options.mode = stack.scheduler;
+    options.storage = stack.storage;
+    options.horizon_seconds = 2.0 * 3600.0;
+    options.mean_interarrival_seconds = 300.0;
+    options.collect_latency = true;
+    options.storage_blocks = 2000;
+    options.seed = 7;
+    SchedulingSimResult result = RunSchedulingSimulation(cluster, suite, options);
+    SummaryStats latency = Summarize(result.p99_series_ms);
+    std::printf("%-18s %9.0f %9.0f %8lld %9lld %9lld %7.0f%%\n", stack.label, latency.mean(),
+                result.average_execution_seconds, (long long)result.total_kills,
+                (long long)result.storage.failed_accesses,
+                (long long)result.storage.interfering_accesses,
+                100.0 * result.average_total_utilization);
+  }
+
+  SchedulingSimOptions reference;
+  reference.horizon_seconds = 2.0 * 3600.0;
+  reference.collect_latency = true;
+  reference.seed = 7;
+  SchedulingSimResult no_harvest = RunNoHarvestingBaseline(cluster, reference);
+  std::printf("%-18s %9.0f %9s %8s %9s %9s %7.0f%%\n", "No-Harvesting",
+              Summarize(no_harvest.p99_series_ms).mean(), "-", "-", "-", "-",
+              100.0 * no_harvest.average_primary_utilization);
+
+  std::printf("\nReading: the history stack protects the primary tenant (p99 near the\n"
+              "No-Harvesting floor), runs batch jobs faster than PT, and serves storage\n"
+              "without failed or interfering accesses -- while lifting utilization.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Parameterized profiles of the ten production datacenters (DC-0 .. DC-9)
+// characterized in paper §3, and a builder that materializes a Cluster from a
+// profile. The absolute fleet sizes and utilizations in the paper are
+// confidential; each profile instead encodes the *published relationships*:
+//   * periodic tenants are a small minority of tenants but ~40% of servers
+//     (Figs 2-3); periodic + constant cover ~75% of servers;
+//   * DC-0 and DC-2 show the least temporal utilization variation, DC-1 and
+//     DC-4 the most (Fig 14 discussion);
+//   * reimage-rate distributions are broadly consistent across datacenters,
+//     with three DCs substantially lower per-server (Fig 4 discussion).
+
+#ifndef HARVEST_SRC_CLUSTER_DATACENTER_H_
+#define HARVEST_SRC_CLUSTER_DATACENTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/trace/generators.h"
+#include "src/trace/reimage.h"
+#include "src/util/rng.h"
+
+namespace harvest {
+
+inline constexpr int kNumDatacenters = 10;
+
+// Statistical profile of one datacenter.
+struct DatacenterProfile {
+  std::string name;
+  // Fleet size knobs (scaled-down from production; see DESIGN.md).
+  int num_tenants = 120;
+  int min_servers_per_tenant = 2;
+  int max_servers_per_tenant = 96;  // log-uniform between min and max
+  // Fraction of *tenants* per pattern (Fig 2: constant dominates).
+  double periodic_tenant_fraction = 0.12;
+  double constant_tenant_fraction = 0.62;
+  // Periodic tenants are user-facing fleets and run on more servers; their
+  // server counts are multiplied by this factor before capping (Fig 3).
+  double periodic_size_boost = 6.0;
+  // Utilization levels.
+  double mean_periodic_base = 0.32;
+  double mean_constant_level = 0.24;
+  double mean_unpredictable_base = 0.18;
+  // Temporal-variation dial in [0, 1]: scales periodic amplitude, constant
+  // drift, and unpredictable burstiness. DC-0/DC-2 low, DC-1/DC-4 high.
+  double variation = 0.5;
+  // Per-server jitter around the tenant's average-server trace.
+  double server_jitter = 0.03;
+  // Reimaging behavior.
+  ReimageModelParams reimage;
+  // Harvestable storage per server, in 256 MB blocks (heterogeneous).
+  int min_blocks_per_server = 300;
+  int max_blocks_per_server = 1200;
+  // Racks hold this many servers; tenants occupy contiguous racks, which is
+  // what correlates stock HDFS rack placement with environments.
+  int servers_per_rack = 20;
+};
+
+// The ten profiles. Index i -> DC-i.
+const std::vector<DatacenterProfile>& AllDatacenterProfiles();
+const DatacenterProfile& DatacenterByName(const std::string& name);
+
+// Options controlling trace materialization.
+struct BuildOptions {
+  // Number of 2-minute slots per server trace (default: one month).
+  size_t trace_slots = kSlotsPerMonth;
+  // Months of reimage events to generate (default: one year).
+  int reimage_months = 12;
+  // Fleet scale multiplier applied to num_tenants (0.1 = 10% of tenants).
+  double scale = 1.0;
+  // Whether to also generate per-server traces (costly for large fleets).
+  // When false, servers reference the tenant's average trace.
+  bool per_server_traces = true;
+};
+
+// Materializes a cluster from a profile. Deterministic given `rng` state.
+Cluster BuildCluster(const DatacenterProfile& profile, const BuildOptions& options, Rng& rng);
+
+// Convenience: the testbed's 21-tenant mix from DC-9 (13 periodic,
+// 3 constant, 5 unpredictable; paper §6.1) over `num_servers` servers.
+Cluster BuildTestbedCluster(int num_servers, size_t trace_slots, Rng& rng);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_CLUSTER_DATACENTER_H_

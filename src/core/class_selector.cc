@@ -1,0 +1,122 @@
+#include "src/core/class_selector.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace harvest {
+
+RankingWeights RankingWeights::Default() {
+  RankingWeights w{};
+  auto set = [&w](JobType type, double periodic, double constant, double unpredictable) {
+    w.weight[static_cast<int>(type)][static_cast<int>(UtilizationPattern::kPeriodic)] = periodic;
+    w.weight[static_cast<int>(type)][static_cast<int>(UtilizationPattern::kConstant)] = constant;
+    w.weight[static_cast<int>(type)][static_cast<int>(UtilizationPattern::kUnpredictable)] =
+        unpredictable;
+  };
+  // Short jobs only need resources *now*: unpredictable first, constant last.
+  set(JobType::kShort, /*periodic=*/2.0, /*constant=*/1.0, /*unpredictable=*/3.0);
+  // Medium jobs ride the predictable part of the day: periodic first.
+  set(JobType::kMedium, /*periodic=*/3.0, /*constant=*/2.0, /*unpredictable=*/1.0);
+  // Long jobs need assurance far into the future: constant first.
+  set(JobType::kLong, /*periodic=*/2.0, /*constant=*/3.0, /*unpredictable=*/1.0);
+  return w;
+}
+
+double ClassSelector::Headroom(JobType type, const UtilizationClass& cls,
+                               double current_utilization) const {
+  double utilization;
+  switch (type) {
+    case JobType::kShort:
+      // Knowing the current utilization is enough for a short job.
+      utilization = current_utilization;
+      break;
+    case JobType::kMedium:
+      utilization = std::max(cls.average_utilization, current_utilization);
+      break;
+    case JobType::kLong:
+      utilization = std::max(cls.peak_utilization, current_utilization);
+      break;
+    default:
+      utilization = 1.0;
+  }
+  return std::clamp(1.0 - utilization, 0.0, 1.0);
+}
+
+ClassSelection ClassSelector::Select(JobType type, int required_cores,
+                                     const std::vector<ClassState>& states, Rng& rng) const {
+  ClassSelection selection;
+  selection.job_type = type;
+  const auto& classes = snapshot_->classes;
+  HARVEST_CHECK(states.size() == classes.size())
+      << "class states must align with clustering snapshot";
+
+  // Weighted headroom per class (Algorithm 1 lines 5-7). Headroom is a
+  // fraction; the class's *core* headroom (how many containers it could
+  // actually host) is the fraction applied to live availability.
+  std::vector<double> weighted(classes.size(), 0.0);
+  std::vector<double> headroom(classes.size(), 0.0);
+  std::vector<int> core_room(classes.size(), 0);
+  for (size_t c = 0; c < classes.size(); ++c) {
+    headroom[c] = Headroom(type, classes[c], states[c].current_utilization);
+    // Live availability already excludes primary usage + reserve; the
+    // type-dependent headroom further discounts classes whose history says
+    // the resources will not stay free for this job type.
+    core_room[c] = std::min(states[c].available_cores,
+                            static_cast<int>(headroom[c] * classes[c].total_cores));
+    double w = weights_.weight[static_cast<int>(type)][static_cast<int>(classes[c].pattern)];
+    weighted[c] = headroom[c] * w * (core_room[c] > 0 ? 1.0 : 0.0);
+  }
+
+  // Single-class fit (lines 8-11).
+  std::vector<double> fit_weights(classes.size(), 0.0);
+  bool any_fit = false;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    if (core_room[c] >= required_cores) {
+      fit_weights[c] = weighted[c];
+      any_fit = true;
+    }
+  }
+  if (any_fit) {
+    int chosen = rng.WeightedIndex(fit_weights);
+    if (chosen >= 0) {
+      selection.class_ids.push_back(classes[static_cast<size_t>(chosen)].id);
+      selection.headrooms.push_back(headroom[static_cast<size_t>(chosen)]);
+      return selection;
+    }
+  }
+
+  // Multi-class combination (lines 12-14): keep drawing classes
+  // probabilistically until the combined room covers the request.
+  int64_t total_room = 0;
+  for (size_t c = 0; c < classes.size(); ++c) {
+    if (weighted[c] > 0.0) {
+      total_room += core_room[c];
+    }
+  }
+  if (total_room >= required_cores) {
+    std::vector<double> remaining = weighted;
+    int covered = 0;
+    while (covered < required_cores) {
+      int chosen = rng.WeightedIndex(remaining);
+      if (chosen < 0) {
+        break;
+      }
+      selection.class_ids.push_back(classes[static_cast<size_t>(chosen)].id);
+      selection.headrooms.push_back(headroom[static_cast<size_t>(chosen)]);
+      covered += core_room[static_cast<size_t>(chosen)];
+      remaining[static_cast<size_t>(chosen)] = 0.0;
+    }
+    if (covered >= required_cores) {
+      return selection;
+    }
+    selection.class_ids.clear();
+    selection.headrooms.clear();
+  }
+
+  // No combination fits (line 16): do not pick classes.
+  return selection;
+}
+
+}  // namespace harvest

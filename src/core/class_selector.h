@@ -1,0 +1,83 @@
+// Algorithm 1 of the paper (§4.1): given a batch job, select the utilization
+// class (or classes) whose servers will most likely keep enough resources
+// free for the job's entire execution.
+//
+//   * The job's type (short / medium / long) comes from its last run.
+//   * The job's maximum concurrent resource need comes from a breadth-first
+//     traversal of its DAG.
+//   * Each class's *headroom* for a job type is:
+//       short  : 1 - current average CPU utilization
+//       medium : 1 - max(average utilization, current utilization)
+//       long   : 1 - max(peak utilization,    current utilization)
+//   * Classes are ranked per type with weights (long prefers constant, short
+//     prefers unpredictable, medium prefers periodic) and one class is picked
+//     probabilistically proportional to weighted headroom; when no single
+//     class fits, multiple classes are combined; when nothing fits, the job
+//     is not scheduled.
+
+#ifndef HARVEST_SRC_CORE_CLASS_SELECTOR_H_
+#define HARVEST_SRC_CORE_CLASS_SELECTOR_H_
+
+#include <vector>
+
+#include "src/core/job_history.h"
+#include "src/core/utilization_clustering.h"
+#include "src/util/rng.h"
+
+namespace harvest {
+
+// Ranking weights W[job type][pattern]; higher weight = higher ranking.
+struct RankingWeights {
+  // Indexed [JobType][UtilizationPattern].
+  double weight[kNumJobTypes][kNumPatterns];
+
+  // The paper's ranking: long -> constant, periodic, unpredictable;
+  // short -> unpredictable, periodic, constant; medium -> periodic first.
+  static RankingWeights Default();
+};
+
+// A class's instantaneous scheduling state, provided by the caller (RM-H
+// aggregates it from node heartbeats).
+struct ClassState {
+  int class_id = 0;
+  // Current average CPU utilization of the class's servers, in [0, 1].
+  double current_utilization = 0.0;
+  // Cores the class can currently host for secondary tenants (capacity minus
+  // primary usage, reserve, and existing secondary allocations).
+  int available_cores = 0;
+};
+
+struct ClassSelection {
+  // Selected class ids, empty when the job cannot be placed anywhere.
+  std::vector<int> class_ids;
+  JobType job_type = JobType::kMedium;
+  // Headroom (fraction) of each selected class at selection time.
+  std::vector<double> headrooms;
+
+  bool empty() const { return class_ids.empty(); }
+};
+
+class ClassSelector {
+ public:
+  ClassSelector(const ClusteringSnapshot* snapshot, RankingWeights weights = RankingWeights::Default())
+      : snapshot_(snapshot), weights_(weights) {}
+
+  // Headroom of class `cls` for a job of `type` (Algorithm 1 lines 6-8).
+  // `current_utilization` is the class's live average CPU utilization.
+  double Headroom(JobType type, const UtilizationClass& cls, double current_utilization) const;
+
+  // Runs Algorithm 1. `states` must align with snapshot->classes by index.
+  // `required_cores` is the job's maximum concurrent resource need.
+  ClassSelection Select(JobType type, int required_cores, const std::vector<ClassState>& states,
+                        Rng& rng) const;
+
+  const ClusteringSnapshot& snapshot() const { return *snapshot_; }
+
+ private:
+  const ClusteringSnapshot* snapshot_;
+  RankingWeights weights_;
+};
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_CORE_CLASS_SELECTOR_H_

@@ -1,0 +1,161 @@
+#include "src/core/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/logging.h"
+
+namespace harvest {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// k-means++ seeding: first centroid uniform, subsequent ones proportional to
+// squared distance from the nearest existing centroid.
+std::vector<std::vector<double>> SeedCentroids(const std::vector<std::vector<double>>& points,
+                                               int k, Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(points[rng.NextBounded(points.size())]);
+  std::vector<double> dist2(points.size(), 0.0);
+  while (centroids.size() < static_cast<size_t>(k)) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centroids) {
+        best = std::min(best, SquaredDistance(points[i], c));
+      }
+      dist2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with existing centroids.
+      break;
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = 0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult KMeansCluster(const std::vector<std::vector<double>>& points, int k, Rng& rng,
+                           const KMeansOptions& options) {
+  KMeansResult result;
+  if (points.empty() || k <= 0) {
+    return result;
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    HARVEST_CHECK(p.size() == dim) << "all points must share one dimension";
+  }
+  k = std::min<int>(k, static_cast<int>(points.size()));
+
+  std::vector<std::vector<double>> centroids = SeedCentroids(points, k, rng);
+  const int actual_k = static_cast<int>(centroids.size());
+  std::vector<int> assignment(points.size(), 0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Assignment step.
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (int c = 0; c < actual_k; ++c) {
+        double d = SquaredDistance(points[i], centroids[static_cast<size_t>(c)]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      assignment[i] = best_c;
+    }
+    // Update step.
+    std::vector<std::vector<double>> next(static_cast<size_t>(actual_k),
+                                          std::vector<double>(dim, 0.0));
+    std::vector<int> counts(static_cast<size_t>(actual_k), 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      auto& centroid = next[static_cast<size_t>(assignment[i])];
+      for (size_t d = 0; d < dim; ++d) {
+        centroid[d] += points[i][d];
+      }
+      ++counts[static_cast<size_t>(assignment[i])];
+    }
+    double movement = 0.0;
+    for (int c = 0; c < actual_k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Empty cluster: keep the old centroid.
+        next[static_cast<size_t>(c)] = centroids[static_cast<size_t>(c)];
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        next[static_cast<size_t>(c)][d] /= counts[static_cast<size_t>(c)];
+      }
+      movement += SquaredDistance(next[static_cast<size_t>(c)], centroids[static_cast<size_t>(c)]);
+    }
+    centroids = std::move(next);
+    if (movement < options.tolerance) {
+      break;
+    }
+  }
+
+  // Compact away empty clusters so callers see only populated classes.
+  std::vector<int> remap(static_cast<size_t>(actual_k), -1);
+  std::vector<std::vector<double>> populated;
+  for (size_t i = 0; i < points.size(); ++i) {
+    int c = assignment[i];
+    if (remap[static_cast<size_t>(c)] == -1) {
+      remap[static_cast<size_t>(c)] = static_cast<int>(populated.size());
+      populated.push_back(centroids[static_cast<size_t>(c)]);
+    }
+  }
+  for (auto& a : assignment) {
+    a = remap[static_cast<size_t>(a)];
+  }
+
+  result.assignment = std::move(assignment);
+  result.centroids = std::move(populated);
+  result.inertia = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    result.inertia += SquaredDistance(
+        points[i], result.centroids[static_cast<size_t>(result.assignment[i])]);
+  }
+  return result;
+}
+
+KMeansResult KMeansAuto(const std::vector<std::vector<double>>& points, int max_k, Rng& rng,
+                        double min_gain, const KMeansOptions& options) {
+  KMeansResult best = KMeansCluster(points, 1, rng, options);
+  for (int k = 2; k <= max_k && static_cast<size_t>(k) <= points.size(); ++k) {
+    KMeansResult candidate = KMeansCluster(points, k, rng, options);
+    if (best.inertia <= 0.0) {
+      break;
+    }
+    double gain = (best.inertia - candidate.inertia) / best.inertia;
+    if (gain < min_gain) {
+      break;
+    }
+    best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace harvest

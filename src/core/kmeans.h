@@ -1,0 +1,45 @@
+// K-Means clustering used by the utilization clustering service (paper §4.1)
+// to group primary tenants with similar frequency profiles. k-means++
+// seeding, Lloyd iterations, deterministic given the Rng.
+
+#ifndef HARVEST_SRC_CORE_KMEANS_H_
+#define HARVEST_SRC_CORE_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace harvest {
+
+struct KMeansResult {
+  // assignment[i] = cluster index of point i, in [0, k).
+  std::vector<int> assignment;
+  // Cluster centroids; centroids.size() == k.
+  std::vector<std::vector<double>> centroids;
+  // Sum of squared distances of points to their centroid.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  // Convergence threshold on centroid movement (L2).
+  double tolerance = 1e-6;
+};
+
+// Clusters `points` (all the same dimension) into `k` groups. When there are
+// fewer distinct points than k, fewer clusters are produced (the surplus
+// centroids are dropped and indices compacted).
+KMeansResult KMeansCluster(const std::vector<std::vector<double>>& points, int k, Rng& rng,
+                           const KMeansOptions& options = {});
+
+// Picks k by minimizing inertia subject to a simple elbow rule: stop when an
+// extra cluster improves inertia by less than `min_gain` (relative). Returns
+// the result for the chosen k in [1, max_k].
+KMeansResult KMeansAuto(const std::vector<std::vector<double>>& points, int max_k, Rng& rng,
+                        double min_gain = 0.15, const KMeansOptions& options = {});
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_CORE_KMEANS_H_

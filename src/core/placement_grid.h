@@ -1,0 +1,74 @@
+// Two-dimensional clustering scheme for replica placement (paper §4.2,
+// Fig 8): one dimension tracks durability (disk-reimage frequency), the other
+// availability (peak CPU utilization). The space is split into 3x3 classes,
+// each holding the same amount of currently-available harvested storage
+// (S/9). Each primary tenant belongs to exactly one cell -- tenants are never
+// split across cells, trading perfect space balance for placement diversity.
+
+#ifndef HARVEST_SRC_CORE_PLACEMENT_GRID_H_
+#define HARVEST_SRC_CORE_PLACEMENT_GRID_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+
+namespace harvest {
+
+inline constexpr int kGridDim = 3;  // 3x3; generalizes per the paper
+
+// A tenant's placement-relevant statistics.
+struct TenantPlacementStats {
+  TenantId tenant = kInvalidTenant;
+  EnvironmentId environment = 0;
+  double reimage_rate = 0.0;      // reimages / server / month
+  double peak_utilization = 0.0;  // of the average server
+  int64_t available_blocks = 0;   // harvestable storage right now
+};
+
+// One cell of the grid.
+struct GridCell {
+  int row = 0;  // peak-utilization tertile (0 = low)
+  int col = 0;  // reimage-frequency tertile (0 = infrequent)
+  std::vector<TenantId> tenants;
+  int64_t total_blocks = 0;
+};
+
+class PlacementGrid {
+ public:
+  // Builds the grid: tenants are sorted by reimage rate and cut into three
+  // column groups of equal storage; within each column, sorted by peak
+  // utilization and cut into three row groups of equal storage. This is why
+  // the row boundaries of Fig 8 do not align across columns.
+  static PlacementGrid Build(const std::vector<TenantPlacementStats>& tenants);
+
+  const GridCell& cell(int row, int col) const {
+    return cells_[static_cast<size_t>(row * kGridDim + col)];
+  }
+  GridCell& cell(int row, int col) { return cells_[static_cast<size_t>(row * kGridDim + col)]; }
+
+  // Cell coordinates of a tenant; {-1, -1} if unknown.
+  std::pair<int, int> CellOfTenant(TenantId tenant) const;
+
+  // Total storage across all cells.
+  int64_t total_blocks() const { return total_blocks_; }
+
+  // Max/min cell storage ratio; 1.0 = perfectly balanced. The equal-space
+  // objective keeps this low unless tenants are very lumpy.
+  double BalanceRatio() const;
+
+  const std::vector<TenantPlacementStats>& tenant_stats() const { return stats_; }
+
+ private:
+  std::vector<GridCell> cells_{static_cast<size_t>(kGridDim * kGridDim)};
+  std::vector<std::pair<int, int>> tenant_cell_;  // indexed by TenantId
+  std::vector<TenantPlacementStats> stats_;
+  int64_t total_blocks_ = 0;
+};
+
+// Extracts placement stats for all tenants of a cluster (peak utilization
+// from the average-server trace, storage summed over member servers).
+std::vector<TenantPlacementStats> CollectPlacementStats(const Cluster& cluster);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_CORE_PLACEMENT_GRID_H_

@@ -1,0 +1,115 @@
+#include "src/core/utilization_clustering.h"
+
+#include <algorithm>
+
+#include "src/signal/spectrum.h"
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+
+namespace harvest {
+
+std::vector<int> ClusteringSnapshot::TenantCountPerPattern() const {
+  std::vector<int> counts(kNumPatterns, 0);
+  for (UtilizationPattern pattern : tenant_pattern) {
+    ++counts[static_cast<size_t>(pattern)];
+  }
+  return counts;
+}
+
+std::vector<int> ClusteringSnapshot::ServerCountPerPattern(const Cluster& cluster) const {
+  std::vector<int> counts(kNumPatterns, 0);
+  for (const auto& tenant : cluster.tenants()) {
+    UtilizationPattern pattern = tenant_pattern[static_cast<size_t>(tenant.id)];
+    counts[static_cast<size_t>(pattern)] += static_cast<int>(tenant.servers.size());
+  }
+  return counts;
+}
+
+ClusteringSnapshot UtilizationClusteringService::Run(const Cluster& cluster, size_t first_slot,
+                                                     size_t window_slots, Rng& rng) const {
+  ClusteringSnapshot snapshot;
+  const size_t num_tenants = cluster.num_tenants();
+  snapshot.tenant_class.assign(num_tenants, -1);
+  snapshot.tenant_pattern.assign(num_tenants, UtilizationPattern::kConstant);
+  if (num_tenants == 0) {
+    return snapshot;
+  }
+
+  // Step 1: FFT + pattern classification per tenant.
+  PatternClassifier classifier(options_.classifier);
+  std::vector<FrequencyProfile> profiles(num_tenants);
+  std::vector<std::vector<TenantId>> by_pattern(kNumPatterns);
+  for (const auto& tenant : cluster.tenants()) {
+    std::vector<double> window;
+    window.reserve(window_slots);
+    for (size_t i = 0; i < window_slots; ++i) {
+      window.push_back(tenant.average_utilization.AtSlot(first_slot + i));
+    }
+    FrequencyProfile profile = ComputeFrequencyProfile(window);
+    UtilizationPattern pattern = classifier.Classify(profile);
+    profiles[static_cast<size_t>(tenant.id)] = std::move(profile);
+    snapshot.tenant_pattern[static_cast<size_t>(tenant.id)] = pattern;
+    by_pattern[static_cast<size_t>(pattern)].push_back(tenant.id);
+  }
+
+  // Step 2: K-Means within each pattern on the frequency-profile features.
+  for (int p = 0; p < kNumPatterns; ++p) {
+    const auto& members = by_pattern[static_cast<size_t>(p)];
+    if (members.empty()) {
+      continue;
+    }
+    std::vector<std::vector<double>> points;
+    points.reserve(members.size());
+    for (TenantId t : members) {
+      points.push_back(profiles[static_cast<size_t>(t)].AsFeatureVector());
+    }
+    KMeansResult kmeans =
+        KMeansAuto(points, options_.max_classes_per_pattern, rng, options_.elbow_min_gain);
+
+    const int base = static_cast<int>(snapshot.classes.size());
+    const int num_new = static_cast<int>(kmeans.centroids.size());
+    for (int c = 0; c < num_new; ++c) {
+      UtilizationClass cls;
+      cls.id = base + c;
+      cls.pattern = static_cast<UtilizationPattern>(p);
+      cls.label = std::string(PatternName(cls.pattern)) + "-" + std::to_string(c);
+      snapshot.classes.push_back(std::move(cls));
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      int cls_index = base + kmeans.assignment[i];
+      snapshot.tenant_class[static_cast<size_t>(members[i])] = cls_index;
+      snapshot.classes[static_cast<size_t>(cls_index)].tenants.push_back(members[i]);
+    }
+  }
+
+  // Step 3: tag classes with average/peak utilization and capacity.
+  for (auto& cls : snapshot.classes) {
+    SummaryStats averages;
+    double peak = 0.0;
+    for (TenantId t : cls.tenants) {
+      const auto& tenant = cluster.tenant(t);
+      double avg = tenant.average_utilization.WindowAverage(first_slot, window_slots);
+      averages.Add(avg);
+      for (size_t i = 0; i < window_slots; ++i) {
+        peak = std::max(peak, tenant.average_utilization.AtSlot(first_slot + i));
+      }
+      for (ServerId s : tenant.servers) {
+        cls.servers.push_back(s);
+        cls.total_cores += cluster.server(s).capacity.cores;
+      }
+    }
+    cls.average_utilization = averages.mean();
+    cls.peak_utilization = peak;
+  }
+  return snapshot;
+}
+
+ClusteringSnapshot UtilizationClusteringService::Run(const Cluster& cluster, Rng& rng) const {
+  size_t slots = 0;
+  for (const auto& tenant : cluster.tenants()) {
+    slots = std::max(slots, tenant.average_utilization.size());
+  }
+  return Run(cluster, 0, slots, rng);
+}
+
+}  // namespace harvest

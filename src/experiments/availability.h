@@ -1,0 +1,43 @@
+// Data-availability experiment (paper Fig 16): sweep the cluster utilization
+// (linear or root scaling) and measure the fraction of block accesses that
+// fail because every replica sits on a busy server (primary CPU above the
+// 66% wall). Compares HDFS-Stock placement against HDFS-H's peak-utilization
+// diversity, at three- and four-way replication.
+
+#ifndef HARVEST_SRC_EXPERIMENTS_AVAILABILITY_H_
+#define HARVEST_SRC_EXPERIMENTS_AVAILABILITY_H_
+
+#include <cstdint>
+
+#include "src/cluster/cluster.h"
+#include "src/experiments/durability.h"
+#include "src/trace/scaling.h"
+
+namespace harvest {
+
+struct AvailabilityOptions {
+  PlacementKind placement = PlacementKind::kHistory;
+  int replication = 3;
+  int64_t num_blocks = 50000;
+  int64_t num_accesses = 200000;
+  // Simulated access horizon (accesses are spread uniformly over it).
+  double horizon_seconds = 30.0 * 24.0 * 3600.0;
+  uint64_t seed = 1;
+};
+
+struct AvailabilityResult {
+  double failed_percent = 0.0;
+  int64_t accesses = 0;
+  int64_t failed = 0;
+  // Average primary utilization of the (scaled) cluster.
+  double average_utilization = 0.0;
+};
+
+// Runs the access sweep on `cluster` as-is (callers scale it first with
+// ScaleClusterUtilization for the sweep).
+AvailabilityResult RunAvailabilityExperiment(const Cluster& cluster,
+                                             const AvailabilityOptions& options);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_EXPERIMENTS_AVAILABILITY_H_

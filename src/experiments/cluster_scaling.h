@@ -1,0 +1,22 @@
+// Utilities to sweep a cluster across the utilization spectrum (paper §6.1):
+// every primary-tenant trace is scaled -- linearly with saturation, or with a
+// root function -- so the fleet-wide average CPU utilization hits a target.
+
+#ifndef HARVEST_SRC_EXPERIMENTS_CLUSTER_SCALING_H_
+#define HARVEST_SRC_EXPERIMENTS_CLUSTER_SCALING_H_
+
+#include "src/cluster/cluster.h"
+#include "src/trace/scaling.h"
+
+namespace harvest {
+
+// Returns a copy of `cluster` whose traces are scaled so the average primary
+// utilization over the horizon equals `target_average`. Tenant average traces
+// and per-server traces are scaled with the same parameter, preserving their
+// relationship. Reimage schedules and storage are copied unchanged.
+Cluster ScaleClusterUtilization(const Cluster& cluster, ScalingMethod method,
+                                double target_average);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_EXPERIMENTS_CLUSTER_SCALING_H_

@@ -1,0 +1,44 @@
+// Data-durability experiment (paper Fig 15): simulate a year of disk
+// reimages over a datacenter and count lost blocks under HDFS-Stock vs
+// HDFS-H at three- and four-way replication. A block is lost when every
+// replica is destroyed before re-replication (throttled at 30 blocks/hour/
+// server, after a heartbeat-timeout detection delay) can heal it.
+
+#ifndef HARVEST_SRC_EXPERIMENTS_DURABILITY_H_
+#define HARVEST_SRC_EXPERIMENTS_DURABILITY_H_
+
+#include <cstdint>
+
+#include "src/cluster/cluster.h"
+#include "src/storage/name_node.h"
+
+namespace harvest {
+
+enum class PlacementKind { kStock = 0, kHistory = 1, kRandom = 2, kGreedy = 3, kSoft = 4 };
+
+const char* PlacementKindName(PlacementKind kind);
+
+struct DurabilityOptions {
+  PlacementKind placement = PlacementKind::kHistory;
+  int replication = 3;
+  int64_t num_blocks = 200000;
+  // Horizon in months; cluster reimage schedules must cover it.
+  int months = 12;
+  double detection_delay_seconds = 300.0;
+  double rereplication_blocks_per_hour = 30.0;
+  uint64_t seed = 1;
+};
+
+struct DurabilityResult {
+  StorageStats stats;
+  // Percentage of created blocks lost over the horizon.
+  double lost_percent = 0.0;
+  int64_t reimage_events = 0;
+};
+
+DurabilityResult RunDurabilityExperiment(const Cluster& cluster,
+                                         const DurabilityOptions& options);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_EXPERIMENTS_DURABILITY_H_

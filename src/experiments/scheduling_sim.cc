@@ -1,0 +1,411 @@
+#include "src/experiments/scheduling_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "src/core/utilization_clustering.h"
+#include "src/jobs/app_master.h"
+#include "src/sim/event_queue.h"
+#include "src/util/logging.h"
+#include "src/util/stats.h"
+
+namespace harvest {
+
+const char* StorageVariantName(StorageVariant variant) {
+  switch (variant) {
+    case StorageVariant::kNone:
+      return "none";
+    case StorageVariant::kStock:
+      return "HDFS-Stock";
+    case StorageVariant::kPrimaryAware:
+      return "HDFS-PT";
+    case StorageVariant::kHistory:
+      return "HDFS-H";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Everything one simulation run needs, wired together.
+class SchedulingSimulation {
+ public:
+  SchedulingSimulation(const Cluster& cluster, const std::vector<JobDag>& suite,
+                       const SchedulingSimOptions& options)
+      : cluster_(cluster),
+        options_(options),
+        rng_(options.seed),
+        rm_(&cluster, options.mode, options.reserve),
+        history_(options.thresholds),
+        latency_model_() {
+    // Scale the suite once.
+    suite_.reserve(suite.size());
+    for (const auto& dag : suite) {
+      suite_.push_back(dag.Scaled(options.job_duration_factor, options.job_width_factor));
+    }
+    if (options.mode == SchedulerMode::kHistory) {
+      SetupHistoryScheduling();
+    }
+    if (options.storage != StorageVariant::kNone) {
+      SetupStorage();
+    }
+  }
+
+  SchedulingSimResult Run() {
+    ScheduleArrivals();
+    queue_.Schedule(options_.tick_seconds, [this] { Tick(); });
+    if (options_.collect_latency) {
+      queue_.Schedule(options_.latency_window_seconds, [this] { LatencyWindow(); });
+    }
+    // Utilization sampling every tick is folded into Tick().
+    queue_.RunUntil(options_.horizon_seconds);
+    return Finalize();
+  }
+
+ private:
+  struct RunningTask {
+    JobId job = 0;
+    int stage = 0;
+    Container container;
+  };
+
+  struct ActiveJob {
+    std::unique_ptr<AppMaster> am;
+    std::vector<int> allowed_classes;  // H mode; empty = any
+    double start_time = -1.0;          // first container start
+    JobType type = JobType::kMedium;
+    bool awaiting_classes = false;     // H mode: selector returned empty
+  };
+
+  void SetupHistoryScheduling() {
+    UtilizationClusteringService service;
+    Rng cluster_rng(options_.seed ^ 0x5eedULL);
+    snapshot_ = service.Run(cluster_, cluster_rng);
+    std::vector<int> server_class(cluster_.num_servers(), 0);
+    for (const auto& cls : snapshot_.classes) {
+      for (ServerId s : cls.servers) {
+        server_class[static_cast<size_t>(s)] = cls.id;
+      }
+    }
+    rm_.SetServerClasses(std::move(server_class));
+    selector_ = std::make_unique<ClassSelector>(&snapshot_);
+  }
+
+  void SetupStorage() {
+    NameNodeOptions nn_options;
+    nn_options.replication = options_.replication;
+    nn_options.primary_aware_access = options_.storage != StorageVariant::kStock;
+    std::unique_ptr<PlacementPolicy> policy;
+    if (options_.storage == StorageVariant::kHistory) {
+      policy = std::make_unique<HistoryPlacement>(&cluster_);
+    } else {
+      policy = std::make_unique<StockPlacement>(&cluster_);
+    }
+    storage_rng_ = rng_.Fork();
+    name_node_ = std::make_unique<NameNode>(&cluster_, std::move(policy), nn_options,
+                                            &storage_rng_);
+    // Pre-populate the file system with the jobs' input blocks.
+    for (int64_t b = 0; b < options_.storage_blocks; ++b) {
+      ServerId writer =
+          static_cast<ServerId>(storage_rng_.NextBounded(cluster_.num_servers()));
+      name_node_->CreateBlock(writer, 0.0);
+    }
+  }
+
+  void ScheduleArrivals() {
+    WorkloadOptions workload;
+    workload.mean_interarrival_seconds = options_.mean_interarrival_seconds;
+    workload.horizon_seconds = options_.horizon_seconds;
+    Rng arrivals_rng(options_.seed ^ 0xa221ULL);
+    arrivals_ = GenerateArrivals(workload, static_cast<int>(suite_.size()), arrivals_rng);
+    for (const auto& arrival : arrivals_) {
+      queue_.Schedule(arrival.time_seconds,
+                      [this, query = arrival.query] { OnJobArrival(query); });
+    }
+  }
+
+  void OnJobArrival(int query) {
+    ++result_.jobs_arrived;
+    const JobDag* dag = &suite_[static_cast<size_t>(query)];
+    JobId id = next_job_id_++;
+    ActiveJob job;
+    job.am = std::make_unique<AppMaster>(id, dag, queue_.now());
+    job.type = history_.TypeOf(dag->name());
+    jobs_.emplace(id, std::move(job));
+    job_order_.push_back(id);
+    if (options_.mode == SchedulerMode::kHistory) {
+      SelectClasses(jobs_.at(id));
+    }
+    TryScheduleJob(id);
+  }
+
+  // Algorithm 1 front-end: picks the class set for a job.
+  void SelectClasses(ActiveJob& job) {
+    const double now = queue_.now();
+    std::vector<ClassState> states;
+    states.reserve(snapshot_.classes.size());
+    for (const auto& cls : snapshot_.classes) {
+      ClassState state;
+      state.class_id = cls.id;
+      state.current_utilization = rm_.ClassCurrentUtilization(cls.id, now);
+      state.available_cores = rm_.ClassAvailableCores(cls.id, now);
+      states.push_back(state);
+    }
+    ClassSelection selection =
+        selector_->Select(job.type, job.am->dag().MaxConcurrentCores(), states, rng_);
+    job.allowed_classes = selection.class_ids;
+    job.awaiting_classes = selection.empty();
+  }
+
+  void TryScheduleJob(JobId id) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return;
+    }
+    ActiveJob& job = it->second;
+    if (job.awaiting_classes) {
+      return;  // re-tried at the next tick
+    }
+    const double now = queue_.now();
+    for (const TaskDemand& demand : job.am->RunnableTasks()) {
+      const Stage& stage = job.am->dag().stage(demand.stage);
+      ContainerRequest request;
+      request.job = id;
+      request.resources = stage.per_task;
+      request.count = demand.count;
+      request.allowed_classes = job.allowed_classes;
+      // Tez-H knows how long this stage's tasks ran historically; a small
+      // margin covers run-to-run variation.
+      request.task_seconds = stage.task_seconds * 1.2;
+      request.history_aware = options_.mode == SchedulerMode::kHistory;
+      std::vector<Container> placed = rm_.Allocate(request, now, rng_);
+      if (placed.empty()) {
+        cluster_full_hint_ = true;
+        continue;
+      }
+      job.am->OnTasksScheduled(demand.stage, static_cast<int>(placed.size()));
+      if (job.start_time < 0.0) {
+        job.start_time = now;
+      }
+      for (const Container& container : placed) {
+        RunningTask task{id, demand.stage, container};
+        running_.emplace(container.id, task);
+        IssueTaskAccesses(now);
+        UtilizationPattern pattern =
+            cluster_.tenant(cluster_.server(container.server).tenant).true_pattern;
+        ++result_.containers_by_pattern[static_cast<size_t>(pattern)];
+        queue_.Schedule(now + stage.task_seconds, [this, cid = container.id] {
+          OnTaskCompletion(cid);
+        });
+      }
+    }
+  }
+
+  void IssueTaskAccesses(double now) {
+    if (!name_node_ || name_node_->num_blocks() == 0) {
+      return;
+    }
+    for (int a = 0; a < options_.accesses_per_task; ++a) {
+      BlockId block =
+          static_cast<BlockId>(storage_rng_.NextBounded(
+              static_cast<uint64_t>(name_node_->num_blocks())));
+      AccessResult access = name_node_->Access(block, now);
+      if (access == AccessResult::kServedInterfering) {
+        ++window_interfering_;
+      }
+    }
+  }
+
+  void OnTaskCompletion(ContainerId cid) {
+    auto it = running_.find(cid);
+    if (it == running_.end()) {
+      return;  // the container was killed before completing
+    }
+    RunningTask task = it->second;
+    running_.erase(it);
+    rm_.Release(task.container);
+
+    ActiveJob& job = jobs_.at(task.job);
+    bool finished = job.am->OnTaskComplete(task.stage, queue_.now());
+    if (finished) {
+      FinishJob(task.job);
+    } else {
+      TryScheduleJob(task.job);  // newly unlocked stages
+    }
+    // Freed resources may unblock other queued jobs.
+    RetryPendingJobs();
+  }
+
+  void FinishJob(JobId id) {
+    ActiveJob& job = jobs_.at(id);
+    JobRecord record;
+    record.name = job.am->dag().name();
+    record.arrival_seconds = job.am->arrival_time();
+    record.finish_seconds = job.am->finish_time();
+    record.execution_seconds = job.am->ExecutionSeconds();
+    record.type = job.type;
+    record.kills = job.am->kills();
+    result_.jobs.push_back(record);
+    ++result_.jobs_completed;
+    result_.total_kills += job.am->kills();
+    // The execution itself (excluding queueing) feeds the next run's typing,
+    // mirroring Tez-H's observed-length bookkeeping.
+    double execution = job.am->finish_time() - (job.start_time >= 0.0 ? job.start_time
+                                                                      : job.am->arrival_time());
+    history_.RecordRun(record.name, execution);
+    jobs_.erase(id);
+    job_order_.erase(std::remove(job_order_.begin(), job_order_.end(), id), job_order_.end());
+  }
+
+  void RetryPendingJobs() {
+    cluster_full_hint_ = false;
+    // Arrival order (FIFO fairness). Stop early once an allocation attempt
+    // reports a full cluster -- all requests share one container shape here.
+    for (JobId id : std::vector<JobId>(job_order_.begin(), job_order_.end())) {
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) {
+        continue;
+      }
+      if (it->second.am->PendingTasks() > 0) {
+        TryScheduleJob(id);
+        if (cluster_full_hint_) {
+          break;
+        }
+      }
+    }
+  }
+
+  void Tick() {
+    const double now = queue_.now();
+    // 1. NMs replenish reserves; killed tasks return to their AMs.
+    std::vector<Container> killed = rm_.EnforceReserves(now);
+    for (const Container& container : killed) {
+      auto it = running_.find(container.id);
+      if (it == running_.end()) {
+        continue;
+      }
+      RunningTask task = it->second;
+      running_.erase(it);
+      jobs_.at(task.job).am->OnTaskKilled(task.stage);
+      ++window_kills_[container.server];
+      UtilizationPattern pattern =
+          cluster_.tenant(cluster_.server(container.server).tenant).true_pattern;
+      ++result_.kills_by_pattern[static_cast<size_t>(pattern)];
+    }
+    // 2. H-mode jobs that could not pick classes -- or whose classes have no
+    // room left (nothing running, tasks pending) -- select again.
+    if (options_.mode == SchedulerMode::kHistory) {
+      for (JobId id : job_order_) {
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+          continue;
+        }
+        ActiveJob& job = it->second;
+        bool starving = job.am->PendingTasks() > 0 && job.am->RunningTasks() == 0;
+        if (job.awaiting_classes || starving) {
+          SelectClasses(job);
+        }
+      }
+    }
+    // 3. Pending demands retry (resources freed by kills / primary ebb).
+    RetryPendingJobs();
+    // 4. Utilization sample.
+    utilization_sum_ += rm_.AverageTotalUtilization(now);
+    primary_sum_ += cluster_.AverageUtilizationAt(now);
+    ++utilization_samples_;
+
+    if (now + options_.tick_seconds <= options_.horizon_seconds) {
+      queue_.Schedule(now + options_.tick_seconds, [this] { Tick(); });
+    }
+  }
+
+  void LatencyWindow() {
+    const double now = queue_.now();
+    SummaryStats window;
+    for (size_t s = 0; s < cluster_.num_servers(); ++s) {
+      const NodeManager& node = rm_.node(static_cast<ServerId>(s));
+      double primary_load = cluster_.server(static_cast<ServerId>(s)).PrimaryUtilizationAt(now);
+      int kills = 0;
+      if (auto it = window_kills_.find(static_cast<ServerId>(s)); it != window_kills_.end()) {
+        kills = it->second;
+      }
+      // Interfering accesses are tracked cluster-wide; attribute them evenly.
+      int interfering = static_cast<int>(window_interfering_ /
+                                         static_cast<int64_t>(cluster_.num_servers()));
+      double p99 = latency_model_.ServerP99(primary_load, node.OvercommitCores(now),
+                                            node.TotalUtilization(now), kills, interfering,
+                                            rng_);
+      window.Add(p99);
+    }
+    result_.p99_series_ms.push_back(window.mean());
+    window_kills_.clear();
+    window_interfering_ = 0;
+    if (now + options_.latency_window_seconds <= options_.horizon_seconds) {
+      queue_.Schedule(now + options_.latency_window_seconds, [this] { LatencyWindow(); });
+    }
+  }
+
+  SchedulingSimResult Finalize() {
+    SummaryStats exec;
+    for (const auto& record : result_.jobs) {
+      exec.Add(record.execution_seconds);
+    }
+    result_.average_execution_seconds = exec.mean();
+    if (utilization_samples_ > 0) {
+      result_.average_total_utilization = utilization_sum_ / utilization_samples_;
+      result_.average_primary_utilization = primary_sum_ / utilization_samples_;
+    }
+    if (name_node_) {
+      result_.storage = name_node_->stats();
+    }
+    return std::move(result_);
+  }
+
+  const Cluster& cluster_;
+  SchedulingSimOptions options_;
+  Rng rng_;
+  Rng storage_rng_;
+  EventQueue queue_;
+  ResourceManager rm_;
+  JobHistory history_;
+  ServiceLatencyModel latency_model_;
+  std::vector<JobDag> suite_;
+  std::vector<JobArrival> arrivals_;
+  ClusteringSnapshot snapshot_;
+  std::unique_ptr<ClassSelector> selector_;
+  std::unique_ptr<NameNode> name_node_;
+  std::unordered_map<JobId, ActiveJob> jobs_;
+  std::vector<JobId> job_order_;
+  std::unordered_map<ContainerId, RunningTask> running_;
+  std::unordered_map<ServerId, int> window_kills_;
+  int64_t window_interfering_ = 0;
+  double utilization_sum_ = 0.0;
+  double primary_sum_ = 0.0;
+  int64_t utilization_samples_ = 0;
+  bool cluster_full_hint_ = false;
+  JobId next_job_id_ = 1;
+  SchedulingSimResult result_;
+};
+
+}  // namespace
+
+SchedulingSimResult RunSchedulingSimulation(const Cluster& cluster,
+                                            const std::vector<JobDag>& suite,
+                                            const SchedulingSimOptions& options) {
+  SchedulingSimulation simulation(cluster, suite, options);
+  return simulation.Run();
+}
+
+SchedulingSimResult RunNoHarvestingBaseline(const Cluster& cluster,
+                                            const SchedulingSimOptions& options) {
+  SchedulingSimOptions no_harvest = options;
+  // An interarrival far beyond the horizon yields zero arrivals.
+  no_harvest.mean_interarrival_seconds = options.horizon_seconds * 1e6;
+  no_harvest.storage = StorageVariant::kNone;
+  no_harvest.mode = SchedulerMode::kPrimaryAware;
+  std::vector<JobDag> empty_suite = {JobDag("noop", {Stage{"noop", 1, 1.0, {1, 128}, {}}})};
+  return RunSchedulingSimulation(cluster, empty_suite, no_harvest);
+}
+
+}  // namespace harvest

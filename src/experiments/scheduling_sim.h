@@ -1,0 +1,100 @@
+// Event-driven co-location simulation of the YARN-like scheduler stack. Used
+// by the testbed experiments (Figs 10-12) and the datacenter-scale sweeps
+// (Figs 13-14). The same policy code (clustering service, Algorithm 1) that
+// the library exposes publicly runs inside this simulator, mirroring the
+// paper's methodology ("we use the same code that implements clustering,
+// task scheduling, and data placement in our real systems").
+
+#ifndef HARVEST_SRC_EXPERIMENTS_SCHEDULING_SIM_H_
+#define HARVEST_SRC_EXPERIMENTS_SCHEDULING_SIM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/core/class_selector.h"
+#include "src/core/job_history.h"
+#include "src/jobs/dag.h"
+#include "src/jobs/workload.h"
+#include "src/latency/service_model.h"
+#include "src/scheduler/resource_manager.h"
+#include "src/storage/name_node.h"
+
+namespace harvest {
+
+// Which HDFS flavor (if any) the co-located jobs read from.
+enum class StorageVariant {
+  kNone = 0,     // scheduling-only experiment
+  kStock = 1,    // primary-unaware placement + accesses
+  kPrimaryAware = 2,  // stock placement, busy-server denial
+  kHistory = 3,  // Algorithm 2 placement, busy-server denial
+};
+
+const char* StorageVariantName(StorageVariant variant);
+
+struct SchedulingSimOptions {
+  SchedulerMode mode = SchedulerMode::kHistory;
+  StorageVariant storage = StorageVariant::kNone;
+  Resources reserve = kDefaultReserve;
+  double horizon_seconds = 5.0 * 3600.0;
+  double mean_interarrival_seconds = 300.0;
+  // Job scaling for large fleets (paper §6.1 multiplies lengths and widths).
+  double job_duration_factor = 1.0;
+  double job_width_factor = 1.0;
+  // Job typing thresholds (Tez-H); testbed defaults 173 s / 433 s.
+  JobTypeThresholds thresholds;
+  // Latency series (Figs 10/12); disable for datacenter-scale sweeps.
+  bool collect_latency = false;
+  double latency_window_seconds = 60.0;
+  // Reserve-enforcement / retry tick (the NM heartbeat cadence coarsened to
+  // telemetry granularity).
+  double tick_seconds = kSlotSeconds;
+  // Block accesses issued at each task start when storage is simulated.
+  int accesses_per_task = 2;
+  int64_t storage_blocks = 5000;
+  int replication = 3;
+  uint64_t seed = 1;
+};
+
+struct JobRecord {
+  std::string name;
+  double arrival_seconds = 0.0;
+  double finish_seconds = -1.0;
+  double execution_seconds = -1.0;  // arrival to finish, includes queueing
+  JobType type = JobType::kMedium;
+  int64_t kills = 0;
+};
+
+struct SchedulingSimResult {
+  std::vector<JobRecord> jobs;  // completed jobs only
+  int64_t jobs_arrived = 0;
+  int64_t jobs_completed = 0;
+  int64_t total_kills = 0;
+  double average_execution_seconds = 0.0;
+  // Time-averaged total (primary + secondary) CPU utilization.
+  double average_total_utilization = 0.0;
+  // Time-averaged primary-only utilization (the No-Harvesting floor).
+  double average_primary_utilization = 0.0;
+  // Average of per-server p99 (ms) per latency window, when collected.
+  std::vector<double> p99_series_ms;
+  StorageStats storage;
+  // Telemetry by the ground-truth pattern of the hosting server's tenant
+  // (indexed by UtilizationPattern): where containers ran and where they
+  // were killed. Drives the ablation analysis of the ranking weights.
+  std::array<int64_t, 3> containers_by_pattern{0, 0, 0};
+  std::array<int64_t, 3> kills_by_pattern{0, 0, 0};
+};
+
+SchedulingSimResult RunSchedulingSimulation(const Cluster& cluster,
+                                            const std::vector<JobDag>& suite,
+                                            const SchedulingSimOptions& options);
+
+// The No-Harvesting baseline of Figs 10/12: the same cluster and latency
+// model with no secondary tenants at all.
+SchedulingSimResult RunNoHarvestingBaseline(const Cluster& cluster,
+                                            const SchedulingSimOptions& options);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_EXPERIMENTS_SCHEDULING_SIM_H_

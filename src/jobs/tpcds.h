@@ -1,0 +1,30 @@
+// Synthetic TPC-DS-like workload (paper §6.1): 52 Hive queries translated
+// into DAGs of relational-processing stages. The real query plans are not
+// reproducible offline, so the suite synthesizes 52 DAGs whose shape spread
+// (stage counts, fan-in/fan-out, task widths, duration mix) matches what the
+// paper reports: short/medium/long mix around the 173 s / 433 s thresholds
+// and a query-19 DAG whose BFS max-concurrency estimate is exactly 469
+// containers (Fig 7).
+
+#ifndef HARVEST_SRC_JOBS_TPCDS_H_
+#define HARVEST_SRC_JOBS_TPCDS_H_
+
+#include <vector>
+
+#include "src/jobs/dag.h"
+#include "src/util/rng.h"
+
+namespace harvest {
+
+inline constexpr int kTpcDsQueryCount = 52;
+
+// Builds the full 52-query suite. Deterministic for a given seed.
+std::vector<JobDag> BuildTpcDsSuite(uint64_t seed);
+
+// The Fig 7 DAG (query 19): mappers and reducers arranged so that the
+// breadth-first concurrency estimate is 469 tasks.
+JobDag BuildQuery19();
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_JOBS_TPCDS_H_

@@ -1,0 +1,40 @@
+#include "src/latency/service_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harvest {
+
+double ServiceLatencyModel::ServerP99(double primary_load, int overcommit_cores,
+                                      double total_utilization, int kills_in_window,
+                                      int interfering_accesses, Rng& rng) const {
+  double p99 = params_.base_ms;
+
+  // Queueing in the primary's own load.
+  double rho = std::clamp(primary_load, 0.0, 0.98);
+  p99 += std::min(params_.max_queue_ms, params_.queue_ms * rho / (1.0 - rho));
+
+  // CPU overcommit: the primary cannot get the cores it wants.
+  if (overcommit_cores > 0) {
+    p99 += params_.overcommit_ms_per_core * overcommit_cores;
+  }
+
+  // Crowding near full utilization even without overcommit.
+  if (total_utilization > params_.crowding_knee) {
+    double excess = total_utilization - params_.crowding_knee;
+    double range = 1.0 - params_.crowding_knee;
+    p99 += params_.crowding_ms * (excess * excess) / (range * range);
+  }
+
+  // Reaction window while the NM replenishes the reserve.
+  p99 += params_.kill_reaction_ms * kills_in_window;
+
+  // Disk interference from primary-unaware storage accesses.
+  p99 += params_.disk_interference_ms * interfering_accesses;
+
+  // Measurement noise.
+  p99 += rng.Normal(0.0, params_.noise_ms);
+  return std::max(0.0, p99);
+}
+
+}  // namespace harvest

@@ -1,0 +1,64 @@
+// Tail-latency model of the primary tenant's interactive service. The paper's
+// testbed runs Apache Lucene per server and reports the average of per-server
+// 99th-percentile response times each minute (Figs 10 and 12). We replace the
+// real search engine with an analytic model (DESIGN.md substitution): a base
+// latency, an M/M/1-style queueing term in the primary load, an interference
+// penalty when secondary tenants intrude into the burst reserve, and seeded
+// noise. Calibrated so the No-Harvesting baseline sits at ~369-406 ms.
+
+#ifndef HARVEST_SRC_LATENCY_SERVICE_MODEL_H_
+#define HARVEST_SRC_LATENCY_SERVICE_MODEL_H_
+
+#include "src/util/rng.h"
+
+namespace harvest {
+
+struct ServiceModelParams {
+  // p99 of an unloaded server (ms).
+  double base_ms = 350.0;
+  // Queueing coefficient: contribution at load rho is `queue_ms * rho/(1-rho)`
+  // capped by `max_queue_ms`.
+  double queue_ms = 12.0;
+  double max_queue_ms = 220.0;
+  // Penalty per overcommitted core (primary + secondary demand beyond
+  // capacity; only primary-unaware systems overcommit CPU).
+  double overcommit_ms_per_core = 140.0;
+  // Transient penalty while the NM reacts to a reserve violation (at most a
+  // few seconds of interference; amortized over the 1-minute window).
+  double kill_reaction_ms = 8.0;
+  // Penalty when co-located disk traffic is served from a busy server
+  // (primary-unaware HDFS), per interfering access in the window.
+  double disk_interference_ms = 30.0;
+  // Crowding penalty: even without overcommit, running the server's CPU
+  // close to full inflates tails. Applied to total utilization above
+  // `crowding_knee` as `crowding_ms * excess^2 / (1-knee)^2`.
+  double crowding_knee = 0.88;
+  double crowding_ms = 60.0;
+  // Std-dev of measurement noise (ms).
+  double noise_ms = 9.0;
+};
+
+// Stateless per-server, per-window evaluation; the experiment drivers feed it
+// cluster state and average across servers.
+class ServiceLatencyModel {
+ public:
+  explicit ServiceLatencyModel(ServiceModelParams params = {}) : params_(params) {}
+
+  // p99 (ms) of one server over one reporting window.
+  //   primary_load       : primary CPU demand as a fraction of capacity
+  //   overcommit_cores   : cores by which primary+secondary exceed capacity
+  //   total_utilization  : (primary + secondary) cores / capacity, in [0,1]
+  //   kills_in_window    : containers killed on this server in the window
+  //   interfering_access : denied-worthy accesses served anyway (stock DN)
+  double ServerP99(double primary_load, int overcommit_cores, double total_utilization,
+                   int kills_in_window, int interfering_accesses, Rng& rng) const;
+
+  const ServiceModelParams& params() const { return params_; }
+
+ private:
+  ServiceModelParams params_;
+};
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_LATENCY_SERVICE_MODEL_H_

@@ -1,0 +1,113 @@
+#include "src/scheduler/node_manager.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace harvest {
+
+NodeManager::NodeManager(const Server* server, Resources reserve, SchedulerMode mode)
+    : server_(server), reserve_(reserve), mode_(mode) {
+  if (server_->utilization) {
+    double avg = server_->utilization->Average() * server_->capacity.cores;
+    double peak = server_->utilization->Peak() * server_->capacity.cores;
+    historical_average_cores_ =
+        std::min(server_->capacity.cores, static_cast<int>(std::ceil(avg - 1e-9)));
+    historical_peak_cores_ =
+        std::min(server_->capacity.cores, static_cast<int>(std::ceil(peak - 1e-9)));
+  }
+}
+
+int NodeManager::ForecastPrimaryCores(double t, double window_seconds) const {
+  if (!server_->utilization || server_->utilization->empty()) {
+    return 0;
+  }
+  constexpr double kDaySeconds = 86400.0;
+  double history_start = t - kDaySeconds;
+  double peak = 0.0;
+  // Sample the previous day's window at slot granularity (plus one slot of
+  // margin on each side for alignment).
+  int samples = static_cast<int>(window_seconds / kSlotSeconds) + 2;
+  for (int i = 0; i < samples; ++i) {
+    peak = std::max(peak, server_->PrimaryUtilizationAt(history_start + i * kSlotSeconds));
+  }
+  int cores = static_cast<int>(std::ceil(peak * server_->capacity.cores - 1e-9));
+  return std::min(server_->capacity.cores, std::max(0, cores));
+}
+
+Resources NodeManager::AvailableForTask(double t, double window_seconds) const {
+  if (mode_ == SchedulerMode::kStock) {
+    return AvailableForSecondary(t);
+  }
+  int primary_cores = std::max(PrimaryCores(t), ForecastPrimaryCores(t, window_seconds));
+  int primary_memory = primary_cores * (server_->capacity.memory_mb / server_->capacity.cores);
+  Resources available = server_->capacity;
+  available -= Resources{primary_cores, primary_memory};
+  available -= reserve_;
+  available -= allocated_;
+  return Resources{std::max(0, available.cores), std::max(0, available.memory_mb)};
+}
+
+Resources NodeManager::AvailableForSecondary(double t) const {
+  Resources available = server_->capacity;
+  if (mode_ != SchedulerMode::kStock) {
+    int primary_cores = PrimaryCores(t);
+    // Memory footprint of the primary is modeled as proportional to its core
+    // usage; the reserve covers the remaining headroom it may burst into.
+    int primary_memory =
+        primary_cores * (server_->capacity.memory_mb / server_->capacity.cores);
+    available -= Resources{primary_cores, primary_memory};
+    available -= reserve_;
+  }
+  available -= allocated_;
+  return Resources{std::max(0, available.cores), std::max(0, available.memory_mb)};
+}
+
+void NodeManager::AddContainer(const Container& container) {
+  allocated_ += container.resources;
+  containers_.push_back(container);
+}
+
+bool NodeManager::RemoveContainer(ContainerId id) {
+  for (auto it = containers_.begin(); it != containers_.end(); ++it) {
+    if (it->id == id) {
+      allocated_ -= it->resources;
+      containers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Container> NodeManager::EnforceReserve(double t) {
+  std::vector<Container> killed;
+  if (mode_ == SchedulerMode::kStock) {
+    return killed;
+  }
+  int primary_cores = PrimaryCores(t);
+  int primary_memory = primary_cores * (server_->capacity.memory_mb / server_->capacity.cores);
+  // Kill youngest-first until the reserve is whole again (paper §5.3).
+  while (!containers_.empty()) {
+    Resources needed = Resources{primary_cores, primary_memory} + reserve_ + allocated_;
+    if (server_->capacity.Fits(needed)) {
+      break;
+    }
+    killed.push_back(containers_.back());
+    allocated_ -= containers_.back().resources;
+    containers_.pop_back();
+  }
+  return killed;
+}
+
+int NodeManager::OvercommitCores(double t) const {
+  int primary_cores = PrimaryCores(t);
+  return std::max(0, primary_cores + allocated_.cores - server_->capacity.cores);
+}
+
+double NodeManager::TotalUtilization(double t) const {
+  double primary = server_->PrimaryUtilizationAt(t) * server_->capacity.cores;
+  double total = primary + static_cast<double>(allocated_.cores);
+  return std::min(1.0, total / server_->capacity.cores);
+}
+
+}  // namespace harvest

@@ -1,0 +1,89 @@
+// Node Manager (paper §5.1, §5.3): per-server agent that tracks the primary
+// tenant's core/memory usage, reports availability to the Resource Manager in
+// heartbeats, and -- in primary-aware modes -- replenishes the burst reserve
+// by killing containers from youngest to oldest when the primary expands.
+
+#ifndef HARVEST_SRC_SCHEDULER_NODE_MANAGER_H_
+#define HARVEST_SRC_SCHEDULER_NODE_MANAGER_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/scheduler/container.h"
+
+namespace harvest {
+
+class NodeManager {
+ public:
+  NodeManager(const Server* server, Resources reserve, SchedulerMode mode);
+
+  const Server& server() const { return *server_; }
+
+  // Primary cores in use at `t`, rounded up to whole cores (NM-H reporting
+  // rule). In Stock mode the NM does not see the primary tenant at all, but
+  // the value is still used by the interference model.
+  int PrimaryCores(double t) const { return server_->PrimaryCoresAt(t); }
+
+  // Resources the heartbeat reports as available for secondary containers.
+  //   Stock       : capacity - secondary allocations (primary invisible)
+  //   PT / History: capacity - reserve - primary usage - secondary allocations
+  Resources AvailableForSecondary(double t) const;
+
+  bool CanHost(const Resources& request, double t) const {
+    return AvailableForSecondary(t).Fits(request);
+  }
+
+  // RM-H's history-based availability (goal G3): predicts the primary
+  // tenant's peak usage over the next `window_seconds` from the same
+  // time-of-day window one day earlier -- an honest forecast that is sharp
+  // for periodic tenants, flat for constant tenants, and uninformative for
+  // unpredictable tenants (exactly the paper's "historical data is a good
+  // predictor for ~75% of servers"). The discount is the larger of the live
+  // usage and the forecast. Falls back to live-only in Stock mode.
+  Resources AvailableForTask(double t, double window_seconds) const;
+
+  // Forecast primary cores over [t, t + window] based on the previous day's
+  // telemetry, rounded up like the live reporting.
+  int ForecastPrimaryCores(double t, double window_seconds) const;
+
+  // Historical statistics of the primary tenant on this server (whole-trace
+  // aggregates, in cores, rounded up like the live reporting).
+  int historical_average_cores() const { return historical_average_cores_; }
+  int historical_peak_cores() const { return historical_peak_cores_; }
+
+  void AddContainer(const Container& container);
+  // Removes by container id; false when unknown.
+  bool RemoveContainer(ContainerId id);
+
+  // Replenishes the reserve: kills containers youngest-first until
+  // primary + allocations + reserve fit in capacity. Stock mode never kills.
+  // Returns the killed containers (AMs must re-run their tasks).
+  std::vector<Container> EnforceReserve(double t);
+
+  // Cores by which primary + secondary exceed capacity at `t` (only possible
+  // in Stock mode); drives the interference model of Figures 10 and 12.
+  int OvercommitCores(double t) const;
+
+  // Total CPU utilization (primary + secondary) as a fraction of capacity,
+  // capped at 1; the paper reports the testbed moving from 33% to 54%.
+  double TotalUtilization(double t) const;
+
+  const std::vector<Container>& containers() const { return containers_; }
+  Resources allocated() const { return allocated_; }
+  bool idle() const { return containers_.empty(); }
+
+ private:
+  const Server* server_;
+  Resources reserve_;
+  SchedulerMode mode_;
+  int historical_average_cores_ = 0;
+  int historical_peak_cores_ = 0;
+  Resources allocated_{0, 0};
+  // Kept ordered by start time (append order); EnforceReserve kills from the
+  // back (youngest first).
+  std::vector<Container> containers_;
+};
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_SCHEDULER_NODE_MANAGER_H_

@@ -1,0 +1,192 @@
+#include "src/scheduler/resource_manager.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace harvest {
+
+const char* SchedulerModeName(SchedulerMode mode) {
+  switch (mode) {
+    case SchedulerMode::kStock:
+      return "Stock";
+    case SchedulerMode::kPrimaryAware:
+      return "PT";
+    case SchedulerMode::kHistory:
+      return "H";
+  }
+  return "unknown";
+}
+
+ResourceManager::ResourceManager(const Cluster* cluster, SchedulerMode mode, Resources reserve)
+    : cluster_(cluster), mode_(mode) {
+  nodes_.reserve(cluster->num_servers());
+  for (const auto& server : cluster->servers()) {
+    nodes_.emplace_back(&server, reserve, mode);
+  }
+  server_class_.assign(cluster->num_servers(), 0);
+  class_servers_.assign(1, {});
+  for (const auto& server : cluster->servers()) {
+    class_servers_[0].push_back(server.id);
+  }
+  num_classes_ = 1;
+}
+
+void ResourceManager::SetServerClasses(std::vector<int> server_class) {
+  HARVEST_CHECK(server_class.size() == nodes_.size())
+      << "class map must cover every server";
+  server_class_ = std::move(server_class);
+  num_classes_ = 0;
+  for (int c : server_class_) {
+    num_classes_ = std::max(num_classes_, c + 1);
+  }
+  class_servers_.assign(static_cast<size_t>(num_classes_), {});
+  for (ServerId s = 0; s < static_cast<ServerId>(server_class_.size()); ++s) {
+    int c = server_class_[static_cast<size_t>(s)];
+    if (c >= 0) {
+      class_servers_[static_cast<size_t>(c)].push_back(s);
+    }
+  }
+}
+
+std::vector<Container> ResourceManager::Allocate(const ContainerRequest& request, double t,
+                                                 Rng& rng) {
+  std::vector<Container> placed;
+  if (request.count <= 0) {
+    return placed;
+  }
+
+  // Candidate servers: the label disjunction, or every server when no label
+  // was named (RM default policy).
+  std::vector<ServerId> candidates;
+  if (request.allowed_classes.empty()) {
+    candidates.reserve(nodes_.size());
+    for (ServerId s = 0; s < static_cast<ServerId>(nodes_.size()); ++s) {
+      candidates.push_back(s);
+    }
+  } else {
+    for (int c : request.allowed_classes) {
+      if (c >= 0 && c < num_classes_) {
+        const auto& servers = class_servers_[static_cast<size_t>(c)];
+        candidates.insert(candidates.end(), servers.begin(), servers.end());
+      }
+    }
+  }
+
+  // Snapshot availability once per request batch; decremented locally as
+  // containers are placed so one batch self-balances. The *fit* check is
+  // always live availability (a container can start wherever there is room
+  // right now); YARN-H additionally *weights* servers by type-aware headroom
+  // (paper G3: prefer servers whose history says the resources will stay
+  // free for the task's duration), falling back to a token weight so the
+  // cluster's full capacity remains usable under pressure.
+  // A server whose history says the task will survive gets a strong bonus on
+  // top of live-room balancing; servers without type headroom stay usable,
+  // balanced by live room, so saturation does not flatten placement.
+  constexpr double kTypeRoomBonus = 50.0;
+  std::vector<double> weights(candidates.size(), 0.0);
+  std::vector<Resources> room(candidates.size());
+  std::vector<int> type_cores(candidates.size(), 0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const NodeManager& node = nodes_[static_cast<size_t>(candidates[i])];
+    room[i] = node.AvailableForSecondary(t);
+    if (request.history_aware) {
+      // Jobs occupy their servers well beyond one task (stage chains,
+      // re-requests), and diurnal ramps move about one core per hour, so the
+      // forecast must look hours ahead to tell an ascending server from a
+      // descending one. Floor the window at a ramp-scale horizon.
+      constexpr double kMinForecastWindowSeconds = 3.0 * 3600.0;
+      double window = std::max(request.task_seconds, kMinForecastWindowSeconds);
+      type_cores[i] = node.AvailableForTask(t, window).cores;
+    }
+    if (room[i].Fits(request.resources)) {
+      weights[i] = static_cast<double>(room[i].cores) +
+                   (request.history_aware ? kTypeRoomBonus * type_cores[i] : 0.0);
+    }
+  }
+
+  for (int n = 0; n < request.count; ++n) {
+    int pick = rng.WeightedIndex(weights);
+    if (pick < 0) {
+      break;  // nothing fits; caller queues the remainder
+    }
+    size_t idx = static_cast<size_t>(pick);
+    ServerId server = candidates[idx];
+    Container container;
+    container.id = next_container_id_++;
+    container.job = request.job;
+    container.server = server;
+    container.resources = request.resources;
+    container.start_time = t;
+    nodes_[static_cast<size_t>(server)].AddContainer(container);
+    placed.push_back(container);
+
+    room[idx] -= request.resources;
+    type_cores[idx] = std::max(0, type_cores[idx] - request.resources.cores);
+    if (!room[idx].Fits(request.resources)) {
+      weights[idx] = 0.0;
+    } else {
+      weights[idx] = static_cast<double>(room[idx].cores) +
+                     (request.history_aware ? kTypeRoomBonus * type_cores[idx] : 0.0);
+    }
+  }
+  return placed;
+}
+
+void ResourceManager::Release(const Container& container) {
+  bool removed = nodes_[static_cast<size_t>(container.server)].RemoveContainer(container.id);
+  HARVEST_CHECK(removed) << "released container " << container.id << " not found on server "
+                         << container.server;
+}
+
+std::vector<Container> ResourceManager::EnforceReserves(double t) {
+  std::vector<Container> killed;
+  for (auto& node : nodes_) {
+    if (node.idle()) {
+      continue;
+    }
+    std::vector<Container> k = node.EnforceReserve(t);
+    killed.insert(killed.end(), k.begin(), k.end());
+  }
+  total_kills_ += static_cast<int64_t>(killed.size());
+  return killed;
+}
+
+double ResourceManager::ClassCurrentUtilization(int class_id, double t) const {
+  if (class_id < 0 || class_id >= num_classes_) {
+    return 1.0;
+  }
+  const auto& servers = class_servers_[static_cast<size_t>(class_id)];
+  if (servers.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  for (ServerId s : servers) {
+    sum += cluster_->server(s).PrimaryUtilizationAt(t);
+  }
+  return sum / static_cast<double>(servers.size());
+}
+
+int ResourceManager::ClassAvailableCores(int class_id, double t) const {
+  if (class_id < 0 || class_id >= num_classes_) {
+    return 0;
+  }
+  int total = 0;
+  for (ServerId s : class_servers_[static_cast<size_t>(class_id)]) {
+    total += nodes_[static_cast<size_t>(s)].AvailableForSecondary(t).cores;
+  }
+  return total;
+}
+
+double ResourceManager::AverageTotalUtilization(double t) const {
+  if (nodes_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const auto& node : nodes_) {
+    sum += node.TotalUtilization(t);
+  }
+  return sum / static_cast<double>(nodes_.size());
+}
+
+}  // namespace harvest

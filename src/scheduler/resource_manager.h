@@ -1,0 +1,69 @@
+// Resource Manager (paper §5.1, §5.3): arbitrates cores and memory across the
+// cluster. RM-H receives per-server heartbeats carrying primary-tenant usage,
+// matches container requests against node labels (utilization classes), and
+// balances load by choosing among eligible servers with probability
+// proportional to their available resources.
+
+#ifndef HARVEST_SRC_SCHEDULER_RESOURCE_MANAGER_H_
+#define HARVEST_SRC_SCHEDULER_RESOURCE_MANAGER_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/scheduler/container.h"
+#include "src/scheduler/node_manager.h"
+#include "src/util/rng.h"
+
+namespace harvest {
+
+class ResourceManager {
+ public:
+  // Builds one NodeManager per server of `cluster`. The cluster must outlive
+  // the RM. `server_class[s]` maps servers to utilization-class ids for label
+  // matching (empty = no labels, Stock/PT behavior).
+  ResourceManager(const Cluster* cluster, SchedulerMode mode, Resources reserve);
+
+  void SetServerClasses(std::vector<int> server_class);
+
+  // Attempts to place up to `request.count` containers at time `t`. Returns
+  // the placed containers (possibly fewer than requested). Placement is
+  // probabilistic proportional to available cores across eligible servers.
+  std::vector<Container> Allocate(const ContainerRequest& request, double t, Rng& rng);
+
+  // Releases a container (task finished or AM cancelled it).
+  void Release(const Container& container);
+
+  // Heartbeat sweep: every NM with containers re-checks its reserve; returns
+  // all containers killed this round.
+  std::vector<Container> EnforceReserves(double t);
+
+  // Aggregate state of one utilization class, for Algorithm 1. `class_id`
+  // must match SetServerClasses ids.
+  double ClassCurrentUtilization(int class_id, double t) const;
+  int ClassAvailableCores(int class_id, double t) const;
+  int NumClasses() const { return num_classes_; }
+
+  NodeManager& node(ServerId id) { return nodes_[static_cast<size_t>(id)]; }
+  const NodeManager& node(ServerId id) const { return nodes_[static_cast<size_t>(id)]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  SchedulerMode mode() const { return mode_; }
+
+  // Cluster-wide average total (primary + secondary) utilization at `t`.
+  double AverageTotalUtilization(double t) const;
+
+  int64_t total_kills() const { return total_kills_; }
+
+ private:
+  const Cluster* cluster_;
+  SchedulerMode mode_;
+  std::vector<NodeManager> nodes_;
+  std::vector<int> server_class_;
+  std::vector<std::vector<ServerId>> class_servers_;
+  int num_classes_ = 0;
+  ContainerId next_container_id_ = 1;
+  int64_t total_kills_ = 0;
+};
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_SCHEDULER_RESOURCE_MANAGER_H_

@@ -1,0 +1,69 @@
+#include "src/signal/fft.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace harvest {
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void FftInPlace(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  HARVEST_CHECK(n > 0 && (n & (n - 1)) == 0) << "FFT size must be a power of two, got " << n;
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j ^= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * M_PI / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = data[i + k];
+        std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> FftReal(const std::vector<double>& series) {
+  size_t padded = NextPowerOfTwo(std::max<size_t>(series.size(), 1));
+  std::vector<std::complex<double>> data(padded, std::complex<double>(0.0, 0.0));
+  for (size_t i = 0; i < series.size(); ++i) {
+    data[i] = std::complex<double>(series[i], 0.0);
+  }
+  FftInPlace(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<double> MagnitudeSpectrum(const std::vector<double>& series) {
+  std::vector<std::complex<double>> spectrum = FftReal(series);
+  size_t half = spectrum.size() / 2;
+  std::vector<double> magnitudes(half + 1);
+  for (size_t k = 0; k <= half; ++k) {
+    magnitudes[k] = std::abs(spectrum[k]);
+  }
+  return magnitudes;
+}
+
+}  // namespace harvest

@@ -1,0 +1,33 @@
+// Fast Fourier Transform used to extract periodicity from primary-tenant
+// CPU-utilization time series (paper §3.2). Iterative radix-2 Cooley-Tukey;
+// arbitrary-length real input is handled by zero-padding to the next power of
+// two, which preserves the location of dominant low-frequency peaks that the
+// pattern classifier depends on.
+
+#ifndef HARVEST_SRC_SIGNAL_FFT_H_
+#define HARVEST_SRC_SIGNAL_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace harvest {
+
+// In-place FFT over a power-of-two-sized complex buffer.
+// `inverse` computes the unscaled inverse transform (caller divides by n).
+void FftInPlace(std::vector<std::complex<double>>& data, bool inverse);
+
+// Forward FFT of a real series. The input is zero-padded to the next power of
+// two. Returns the full complex spectrum (size = padded length).
+std::vector<std::complex<double>> FftReal(const std::vector<double>& series);
+
+// One-sided magnitude spectrum of a real series: `result[k]` is the magnitude
+// of frequency bin k (k cycles over the padded window), for k in
+// [0, padded/2]. The DC bin (k = 0) is included.
+std::vector<double> MagnitudeSpectrum(const std::vector<double>& series);
+
+// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_SIGNAL_FFT_H_

@@ -1,0 +1,102 @@
+#include "src/signal/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/signal/fft.h"
+#include "src/util/stats.h"
+
+namespace harvest {
+
+std::vector<double> FrequencyProfile::AsFeatureVector() const {
+  std::vector<double> features;
+  features.reserve(4 + feature_bins.size());
+  features.push_back(mean);
+  features.push_back(stddev);
+  features.push_back(dominant_share);
+  features.push_back(low_frequency_energy);
+  features.insert(features.end(), feature_bins.begin(), feature_bins.end());
+  return features;
+}
+
+FrequencyProfile ComputeFrequencyProfile(const std::vector<double>& series) {
+  FrequencyProfile profile;
+  if (series.empty()) {
+    profile.feature_bins.assign(FrequencyProfile::kFeatureBins, 0.0);
+    return profile;
+  }
+
+  SummaryStats stats;
+  for (double v : series) {
+    stats.Add(v);
+  }
+  profile.mean = stats.mean();
+  profile.stddev = stats.stddev();
+  profile.peak = stats.max();
+
+  // Remove the DC component before transforming so bin magnitudes describe
+  // only temporal variation, not the utilization level.
+  std::vector<double> centered(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    centered[i] = series[i] - profile.mean;
+  }
+  std::vector<double> magnitudes = MagnitudeSpectrum(centered);
+
+  // Non-DC bins: indices 1 .. magnitudes.size()-1.
+  double total = 0.0;
+  double best = 0.0;
+  size_t best_idx = 0;
+  std::vector<double> non_dc;
+  non_dc.reserve(magnitudes.size() - 1);
+  for (size_t k = 1; k < magnitudes.size(); ++k) {
+    total += magnitudes[k];
+    non_dc.push_back(magnitudes[k]);
+    if (magnitudes[k] > best) {
+      best = magnitudes[k];
+      best_idx = k;
+    }
+  }
+  profile.dominant_frequency = best_idx;
+  // Bin k of the padded spectrum is k cycles per `padded` samples; with
+  // 2-minute sampling a day holds 720 samples, so cycles/day = k * 720 / N.
+  const size_t padded = 2 * (magnitudes.size() - 1);
+  if (padded > 0) {
+    profile.dominant_cycles_per_day =
+        static_cast<double>(best_idx) * 720.0 / static_cast<double>(padded);
+  }
+  // Windowed share: zero-padding spreads a tone across neighboring bins.
+  double windowed = 0.0;
+  if (best_idx > 0) {
+    size_t lo = best_idx > 3 ? best_idx - 3 : 1;
+    size_t hi = std::min(magnitudes.size() - 1, best_idx + 3);
+    for (size_t k = lo; k <= hi; ++k) {
+      windowed += magnitudes[k];
+    }
+  }
+  profile.dominant_share = total > 0.0 ? windowed / total : 0.0;
+
+  if (!non_dc.empty()) {
+    std::vector<double> sorted = non_dc;
+    std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(sorted.size() / 2),
+                     sorted.end());
+    double median = sorted[sorted.size() / 2];
+    profile.peak_to_median = median > 1e-12 ? best / median : (best > 0.0 ? 1e9 : 0.0);
+
+    size_t low_bins = std::max<size_t>(1, non_dc.size() / 20);
+    double low_energy = 0.0;
+    for (size_t k = 0; k < low_bins; ++k) {
+      low_energy += non_dc[k];
+    }
+    profile.low_frequency_energy = total > 0.0 ? low_energy / total : 0.0;
+  }
+
+  // Normalized leading bins as the clustering feature vector.
+  profile.feature_bins.assign(FrequencyProfile::kFeatureBins, 0.0);
+  double norm = total > 0.0 ? total : 1.0;
+  for (size_t k = 0; k < FrequencyProfile::kFeatureBins && k < non_dc.size(); ++k) {
+    profile.feature_bins[k] = non_dc[k] / norm;
+  }
+  return profile;
+}
+
+}  // namespace harvest

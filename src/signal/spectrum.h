@@ -1,0 +1,53 @@
+// Frequency-domain features of a utilization time series. The clustering
+// service (paper §4.1) feeds these profiles to K-Means, and the pattern
+// classifier (paper §3.2) uses them to split tenants into periodic, constant,
+// and unpredictable groups.
+
+#ifndef HARVEST_SRC_SIGNAL_SPECTRUM_H_
+#define HARVEST_SRC_SIGNAL_SPECTRUM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace harvest {
+
+// Compact frequency-domain description of one tenant's utilization series.
+struct FrequencyProfile {
+  // Mean of the raw series (utilization in [0, 1]).
+  double mean = 0.0;
+  // Population standard deviation of the raw series.
+  double stddev = 0.0;
+  // Maximum of the raw series.
+  double peak = 0.0;
+  // Index (in cycles per padded window) of the strongest non-DC bin.
+  size_t dominant_frequency = 0;
+  // Location of the dominant bin in cycles per day (assuming 2-minute
+  // sampling, 720 samples/day). Diurnal services land at ~1.0; rare-event
+  // (unpredictable) spectra concentrate far below 1.
+  double dominant_cycles_per_day = 0.0;
+  // Energy within +/-3 bins of the dominant bin divided by total non-DC
+  // energy. Windowed because zero-padding smears a pure tone across a few
+  // bins; close to 1 for a sinusoid, close to 0 for white noise.
+  double dominant_share = 0.0;
+  // Ratio of the strongest non-DC magnitude to the median non-DC magnitude;
+  // large whenever the spectrum has any concentrated structure.
+  double peak_to_median = 0.0;
+  // Fraction of non-DC spectral energy in the lowest 5% of bins; high values
+  // indicate rare, aperiodic events (the paper's "unpredictable" shape).
+  double low_frequency_energy = 0.0;
+  // Normalized magnitudes of the first `kFeatureBins` non-DC bins, used as the
+  // K-Means feature vector so tenants with aligned harmonics cluster together.
+  std::vector<double> feature_bins;
+
+  static constexpr size_t kFeatureBins = 16;
+
+  // Flat feature vector for K-Means: summary features + normalized bins.
+  std::vector<double> AsFeatureVector() const;
+};
+
+// Computes the profile of a raw utilization series (any length >= 2).
+FrequencyProfile ComputeFrequencyProfile(const std::vector<double>& series);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_SIGNAL_SPECTRUM_H_

@@ -1,0 +1,61 @@
+// Minimal deterministic discrete-event engine. Events scheduled at the same
+// timestamp fire in insertion order, which keeps every experiment replayable
+// from its seed alone.
+
+#ifndef HARVEST_SRC_SIM_EVENT_QUEUE_H_
+#define HARVEST_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace harvest {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute time `when` (seconds). Times before `now()`
+  // are clamped to `now()`.
+  void Schedule(double when, Callback fn);
+  // Schedules `fn` `delay` seconds from now.
+  void ScheduleAfter(double delay, Callback fn) { Schedule(now_ + delay, std::move(fn)); }
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  // Time of the earliest pending event; meaningless when empty().
+  double PeekTime() const { return heap_.top().when; }
+
+  // Runs the earliest event; returns false when the queue is empty.
+  bool RunOne();
+  // Runs events until the queue empties or the next event is after `horizon`.
+  // The clock is left at min(horizon, last event time).
+  void RunUntil(double horizon);
+  // Drains the queue completely.
+  void RunAll();
+
+ private:
+  struct Entry {
+    double when;
+    uint64_t sequence;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.sequence > b.sequence;
+    }
+  };
+
+  double now_ = 0.0;
+  uint64_t next_sequence_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,64 @@
+// Data Node (paper §5.1, §5.4): per-server block store. DN-H denies accesses
+// while the primary tenant needs the server ("busy"), reports busy/available
+// to the Name Node in heartbeats, and enforces the primary tenant's declared
+// storage allowance.
+
+#ifndef HARVEST_SRC_STORAGE_DATA_NODE_H_
+#define HARVEST_SRC_STORAGE_DATA_NODE_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+
+namespace harvest {
+
+// A server denies secondary data accesses when its primary CPU utilization
+// exceeds 1 - reserve: the paper observes accesses cannot proceed above 66%.
+inline constexpr double kBusyUtilizationThreshold = 2.0 / 3.0;
+
+class DataNode {
+ public:
+  DataNode() = default;
+  DataNode(const Server* server, int64_t capacity_blocks)
+      : server_(server), capacity_blocks_(capacity_blocks) {}
+
+  ServerId id() const { return server_->id; }
+  const Server& server() const { return *server_; }
+
+  // Whether the primary tenant is using enough CPU that DN-H must deny
+  // secondary accesses (goal G2 of §5.4).
+  bool Busy(double t) const {
+    return server_->PrimaryUtilizationAt(t) > kBusyUtilizationThreshold;
+  }
+
+  bool HasSpace() const { return used_blocks_ < capacity_blocks_; }
+  int64_t used_blocks() const { return used_blocks_; }
+  int64_t capacity_blocks() const { return capacity_blocks_; }
+
+  // Replica bookkeeping. The block list is append-only with lazy deletion;
+  // the NameNode validates entries against its authoritative block map when
+  // the disk is reimaged.
+  void AddReplica(BlockId block) {
+    blocks_.push_back(block);
+    ++used_blocks_;
+  }
+  void DropReplica() { --used_blocks_; }
+
+  // All block ids ever hosted (may contain stale entries); cleared on wipe.
+  std::vector<BlockId> TakeBlocksForWipe() {
+    std::vector<BlockId> wiped = std::move(blocks_);
+    blocks_.clear();
+    used_blocks_ = 0;
+    return wiped;
+  }
+
+ private:
+  const Server* server_ = nullptr;
+  int64_t capacity_blocks_ = 0;
+  int64_t used_blocks_ = 0;
+  std::vector<BlockId> blocks_;
+};
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_STORAGE_DATA_NODE_H_

@@ -1,0 +1,181 @@
+#include "src/storage/name_node.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace harvest {
+
+NameNode::NameNode(const Cluster* cluster, std::unique_ptr<PlacementPolicy> policy,
+                   NameNodeOptions options, Rng* rng)
+    : cluster_(cluster), policy_(std::move(policy)), options_(options), rng_(rng) {
+  data_nodes_.reserve(cluster->num_servers());
+  source_free_at_.assign(cluster->num_servers(), 0.0);
+  for (const auto& server : cluster->servers()) {
+    data_nodes_.emplace_back(&server, server.harvestable_blocks);
+  }
+}
+
+bool NameNode::ServerHasSpace(ServerId server, BlockId block) const {
+  const DataNode& dn = data_nodes_[static_cast<size_t>(server)];
+  if (!dn.HasSpace()) {
+    return false;
+  }
+  if (block >= 0) {
+    const auto& replicas = blocks_[static_cast<size_t>(block)].replicas;
+    if (std::find(replicas.begin(), replicas.end(), server) != replicas.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+BlockId NameNode::CreateBlock(ServerId writer, double now) {
+  (void)now;
+  BlockId id = static_cast<BlockId>(blocks_.size());
+  auto has_space = [this](ServerId s) { return ServerHasSpace(s, -1); };
+  std::vector<ServerId> placed = policy_->Place(writer, options_.replication, has_space, *rng_);
+  // De-duplicate defensively; a policy must not double-place but the NN is
+  // the last line of defense for the invariant.
+  std::sort(placed.begin(), placed.end());
+  placed.erase(std::unique(placed.begin(), placed.end()), placed.end());
+  if (placed.empty()) {
+    return -1;
+  }
+  BlockState state;
+  state.replicas = placed;
+  blocks_.push_back(std::move(state));
+  for (ServerId s : placed) {
+    data_nodes_[static_cast<size_t>(s)].AddReplica(id);
+  }
+  ++stats_.blocks_created;
+  return id;
+}
+
+AccessResult NameNode::Access(BlockId block, double now) {
+  ++stats_.accesses;
+  const BlockState& state = blocks_[static_cast<size_t>(block)];
+  if (state.lost || state.replicas.empty()) {
+    ++stats_.failed_accesses;
+    return AccessResult::kMissing;
+  }
+  for (ServerId s : state.replicas) {
+    if (!data_nodes_[static_cast<size_t>(s)].Busy(now)) {
+      return AccessResult::kServed;
+    }
+  }
+  // Every replica is on a busy server.
+  if (options_.primary_aware_access) {
+    ++stats_.failed_accesses;
+    return AccessResult::kFailed;
+  }
+  ++stats_.interfering_accesses;
+  return AccessResult::kServedInterfering;
+}
+
+void NameNode::QueueRereplication(BlockId block, double now) {
+  BlockState& state = blocks_[static_cast<size_t>(block)];
+  if (state.replicas.empty()) {
+    return;  // nothing to copy from; the block is gone
+  }
+  // Pick the source replica that frees up first, then push its availability
+  // forward by one throttle interval (30 blocks/hour/server -> 120 s each).
+  const double interval = 3600.0 / options_.rereplication_blocks_per_hour;
+  ServerId best = state.replicas[0];
+  for (ServerId s : state.replicas) {
+    if (source_free_at_[static_cast<size_t>(s)] < source_free_at_[static_cast<size_t>(best)]) {
+      best = s;
+    }
+  }
+  double start = std::max(now + options_.detection_delay_seconds,
+                          source_free_at_[static_cast<size_t>(best)]);
+  double done = start + interval;
+  source_free_at_[static_cast<size_t>(best)] = done;
+  ++state.inflight;
+  rereplication_queue_.push(PendingRereplication{done, block, best});
+}
+
+void NameNode::OnReimage(ServerId server, double now) {
+  // Re-replications due before this wipe complete first; the queue is
+  // processed in time order so sources are validated consistently.
+  ProcessRereplication(now);
+
+  DataNode& dn = data_nodes_[static_cast<size_t>(server)];
+  std::vector<BlockId> wiped = dn.TakeBlocksForWipe();
+  for (BlockId block : wiped) {
+    BlockState& state = blocks_[static_cast<size_t>(block)];
+    auto it = std::find(state.replicas.begin(), state.replicas.end(), server);
+    if (it == state.replicas.end()) {
+      continue;  // stale entry (replica already moved elsewhere)
+    }
+    state.replicas.erase(it);
+    ++stats_.replicas_destroyed;
+    if (state.lost) {
+      continue;
+    }
+    if (state.replicas.empty()) {
+      // The last live replica died. In-flight copies sourced from destroyed
+      // replicas cannot complete: the data is unrecoverable.
+      state.lost = true;
+      ++stats_.blocks_lost;
+      continue;
+    }
+    QueueRereplication(block, now);
+  }
+}
+
+void NameNode::ProcessRereplication(double now) {
+  while (!rereplication_queue_.empty() && rereplication_queue_.top().ready_time <= now) {
+    PendingRereplication pending = rereplication_queue_.top();
+    rereplication_queue_.pop();
+    BlockState& state = blocks_[static_cast<size_t>(pending.block)];
+    --state.inflight;
+    if (state.lost) {
+      continue;
+    }
+    // The copy succeeds only if the source still holds a live replica at
+    // completion time (a reimage in between invalidates it).
+    bool source_alive = std::find(state.replicas.begin(), state.replicas.end(),
+                                  pending.source) != state.replicas.end();
+    if (!source_alive) {
+      if (!state.replicas.empty()) {
+        QueueRereplication(pending.block, pending.ready_time);
+      }
+      continue;
+    }
+    if (static_cast<int>(state.replicas.size()) >= options_.replication) {
+      continue;  // already healed (e.g., by an earlier queued copy)
+    }
+    // Destination: the placement policy picks a target diverse against the
+    // surviving replicas (HDFS-H preserves Algorithm 2's environment and
+    // row/column constraints; stock HDFS re-runs its rack rules).
+    auto has_space = [this, &pending](ServerId s) {
+      return s != pending.source && ServerHasSpace(s, pending.block);
+    };
+    // Order the existing list so the source leads (it acts as the writer in
+    // the default policy).
+    std::vector<ServerId> existing;
+    existing.push_back(pending.source);
+    for (ServerId s : state.replicas) {
+      if (s != pending.source) {
+        existing.push_back(s);
+      }
+    }
+    ServerId destination = policy_->PlaceAdditional(existing, has_space, *rng_);
+    if (destination == kInvalidServer) {
+      continue;  // cluster too full to heal; stay under-replicated
+    }
+    state.replicas.push_back(destination);
+    data_nodes_[static_cast<size_t>(destination)].AddReplica(pending.block);
+    ++stats_.rereplications_completed;
+    if (static_cast<int>(state.replicas.size()) < options_.replication) {
+      QueueRereplication(pending.block, pending.ready_time);
+    }
+  }
+}
+
+int NameNode::LiveReplicas(BlockId block) const {
+  return static_cast<int>(blocks_[static_cast<size_t>(block)].replicas.size());
+}
+
+}  // namespace harvest

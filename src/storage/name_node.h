@@ -1,0 +1,135 @@
+// Name Node (paper §5.1, §5.4): manages the block namespace and the mapping
+// of blocks to Data Nodes. NN-H integrates the history-based placement
+// policy, excludes busy servers from the replica lists given to clients, and
+// re-creates lost replicas after missed heartbeats without overloading the
+// network (30 blocks/hour/server).
+
+#ifndef HARVEST_SRC_STORAGE_NAME_NODE_H_
+#define HARVEST_SRC_STORAGE_NAME_NODE_H_
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/storage/data_node.h"
+#include "src/storage/placement.h"
+#include "src/util/rng.h"
+
+namespace harvest {
+
+// Outcome of a client block access.
+enum class AccessResult {
+  kServed = 0,          // a replica on a non-busy server served the access
+  kServedInterfering,   // all replicas busy; primary-unaware DN served anyway
+  kFailed,              // all replicas busy; primary-aware DNs denied
+  kMissing,             // the block has no live replicas (lost or in re-replication)
+};
+
+struct NameNodeOptions {
+  // Desired replication for new blocks (paper evaluates 3 and 4).
+  int replication = 3;
+  // Primary-aware DNs deny accesses on busy servers (HDFS-PT / HDFS-H);
+  // stock DNs serve them and interfere with the primary.
+  bool primary_aware_access = true;
+  // Delay between a replica's destruction and the NN noticing (missed
+  // heartbeats; paper: "after a few missing heartbeats").
+  double detection_delay_seconds = 300.0;
+  // Re-replication throttle per source server (paper §5.1).
+  double rereplication_blocks_per_hour = 30.0;
+};
+
+struct StorageStats {
+  int64_t blocks_created = 0;
+  int64_t blocks_lost = 0;
+  int64_t replicas_destroyed = 0;
+  int64_t rereplications_completed = 0;
+  int64_t accesses = 0;
+  int64_t failed_accesses = 0;
+  int64_t interfering_accesses = 0;
+
+  double LossFraction() const {
+    return blocks_created == 0
+               ? 0.0
+               : static_cast<double>(blocks_lost) / static_cast<double>(blocks_created);
+  }
+  double FailedAccessFraction() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(failed_accesses) / static_cast<double>(accesses);
+  }
+};
+
+class NameNode {
+ public:
+  // `policy` decides replica destinations; the cluster must outlive the NN.
+  NameNode(const Cluster* cluster, std::unique_ptr<PlacementPolicy> policy,
+           NameNodeOptions options, Rng* rng);
+
+  // Creates one block written from `writer`. Returns the block id, or -1 when
+  // placement failed completely (no space anywhere).
+  BlockId CreateBlock(ServerId writer, double now);
+
+  // Client read at time `now`: the NN excludes busy servers from the replica
+  // list; with primary-aware DNs the access fails when every replica is busy.
+  AccessResult Access(BlockId block, double now);
+
+  // The disk of `server` was reimaged at `now`: all replicas on it are
+  // destroyed; re-replication of the survivors is queued after the detection
+  // delay, throttled per source server. Lost blocks are counted when their
+  // last replica dies before re-replication completes.
+  void OnReimage(ServerId server, double now);
+
+  // Completes all re-replications scheduled at or before `now`. Must be
+  // called with non-decreasing `now` (the simulators drive it off the event
+  // queue / reimage order).
+  void ProcessRereplication(double now);
+
+  // Number of live replicas of `block` right now.
+  int LiveReplicas(BlockId block) const;
+  const std::vector<ServerId>& ReplicaServers(BlockId block) const {
+    return blocks_[static_cast<size_t>(block)].replicas;
+  }
+  bool Lost(BlockId block) const { return blocks_[static_cast<size_t>(block)].lost; }
+
+  const StorageStats& stats() const { return stats_; }
+  const PlacementPolicy& policy() const { return *policy_; }
+  DataNode& data_node(ServerId id) { return data_nodes_[static_cast<size_t>(id)]; }
+  int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
+
+ private:
+  struct BlockState {
+    std::vector<ServerId> replicas;  // live replicas
+    int inflight = 0;                // re-replications under way
+    bool lost = false;
+  };
+  struct PendingRereplication {
+    double ready_time = 0.0;
+    BlockId block = 0;
+    ServerId source = kInvalidServer;
+  };
+  struct ReadyAfter {
+    bool operator()(const PendingRereplication& a, const PendingRereplication& b) const {
+      return a.ready_time > b.ready_time;
+    }
+  };
+
+  bool ServerHasSpace(ServerId server, BlockId block) const;
+  // Queues one re-replication for `block`, choosing the least-loaded source.
+  void QueueRereplication(BlockId block, double now);
+
+  const Cluster* cluster_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  NameNodeOptions options_;
+  Rng* rng_;
+  std::vector<DataNode> data_nodes_;
+  std::vector<BlockState> blocks_;
+  // Earliest time each server can source its next re-replication.
+  std::vector<double> source_free_at_;
+  std::priority_queue<PendingRereplication, std::vector<PendingRereplication>, ReadyAfter>
+      rereplication_queue_;
+  StorageStats stats_;
+};
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_STORAGE_NAME_NODE_H_

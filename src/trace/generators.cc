@@ -1,0 +1,90 @@
+#include "src/trace/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harvest {
+
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+UtilizationTrace GeneratePeriodicTrace(const PeriodicTraceParams& params, size_t slots, Rng& rng) {
+  std::vector<double> samples(slots);
+  const double day = static_cast<double>(kSlotsPerDay);
+  const double phase = params.phase_fraction * 2.0 * M_PI;
+  for (size_t i = 0; i < slots; ++i) {
+    double t = static_cast<double>(i);
+    double day_angle = 2.0 * M_PI * t / day + phase;
+    // Weekly modulation: weekends (2 of 7 days) see a reduced daily peak.
+    double day_index = std::fmod(t / day, 7.0);
+    double weekend = (day_index >= 5.0) ? 1.0 : 0.0;
+    double amplitude = params.daily_amplitude - weekend * params.weekly_dip;
+    double value = params.base + amplitude * std::sin(day_angle) +
+                   params.harmonic_amplitude * std::sin(2.0 * day_angle + 0.7) +
+                   rng.Normal(0.0, params.noise_stddev);
+    samples[i] = Clamp01(value);
+  }
+  return UtilizationTrace(std::move(samples));
+}
+
+UtilizationTrace GenerateConstantTrace(const ConstantTraceParams& params, size_t slots, Rng& rng) {
+  std::vector<double> samples(slots);
+  double level = params.level;
+  for (size_t i = 0; i < slots; ++i) {
+    // Mean-reverting drift keeps the long-run level near params.level.
+    level += rng.Normal(0.0, params.drift_stddev) + 0.002 * (params.level - level);
+    level = Clamp01(level);
+    samples[i] = Clamp01(level + rng.Normal(0.0, params.noise_stddev));
+  }
+  return UtilizationTrace(std::move(samples));
+}
+
+UtilizationTrace GenerateUnpredictableTrace(const UnpredictableTraceParams& params, size_t slots,
+                                            Rng& rng) {
+  std::vector<double> samples(slots);
+  double level = params.base;
+  double burst_remaining = 0.0;  // slots left in the current burst
+  double burst_level = 0.0;
+  const double burst_prob_per_slot =
+      params.burst_rate_per_day / static_cast<double>(kSlotsPerDay);
+  for (size_t i = 0; i < slots; ++i) {
+    if (burst_remaining <= 0.0 && rng.Bernoulli(burst_prob_per_slot)) {
+      burst_remaining = rng.Exponential(1.0 / std::max(1.0, params.burst_duration_slots));
+      burst_level = params.burst_height * (0.5 + rng.NextDouble());
+    }
+    double burst = 0.0;
+    if (burst_remaining > 0.0) {
+      burst = burst_level;
+      burst_remaining -= 1.0;
+    }
+    level += rng.Normal(0.0, params.walk_stddev) + params.reversion * (params.base - level);
+    level = Clamp01(level);
+    samples[i] = Clamp01(level + burst + rng.Normal(0.0, params.noise_stddev));
+  }
+  return UtilizationTrace(std::move(samples));
+}
+
+UtilizationTrace PerturbTrace(const UtilizationTrace& base, double jitter_stddev, Rng& rng) {
+  std::vector<double> samples(base.size());
+  // A per-server multiplicative skew models persistent load imbalance; the
+  // additive deviation drifts slowly (AR(1) with ~2-hour correlation at
+  // 2-minute slots) -- load balancers rebalance on minutes-to-hours
+  // timescales, they do not flicker slot to slot. Keeping the perturbation
+  // smooth matters: per-slot white noise would make primary usage
+  // unpredictable at core granularity for *every* tenant, burying the
+  // pattern-level signal the history-based techniques exploit.
+  const double rho = 0.985;
+  const double innovation = jitter_stddev * std::sqrt(1.0 - rho * rho);
+  double skew = std::max(0.2, 1.0 + rng.Normal(0.0, jitter_stddev * 2.0));
+  double deviation = rng.Normal(0.0, jitter_stddev);
+  for (size_t i = 0; i < base.size(); ++i) {
+    deviation = rho * deviation + rng.Normal(0.0, innovation);
+    samples[i] = Clamp01(base.AtSlot(i) * skew + deviation);
+  }
+  return UtilizationTrace(std::move(samples));
+}
+
+}  // namespace harvest

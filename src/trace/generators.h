@@ -1,0 +1,60 @@
+// Synthetic utilization-trace generators for the three tenant behavior
+// patterns of paper §3.2. The production AutoPilot telemetry is proprietary;
+// these generators are the DESIGN.md-documented substitution. Each generator
+// is parameterized so that datacenter profiles can dial the amount of
+// temporal variation (the property Figures 13-14 hinge on).
+
+#ifndef HARVEST_SRC_TRACE_GENERATORS_H_
+#define HARVEST_SRC_TRACE_GENERATORS_H_
+
+#include <cstddef>
+
+#include "src/trace/utilization_trace.h"
+#include "src/util/rng.h"
+
+namespace harvest {
+
+// Parameters of a diurnal (user-facing) tenant: a daily sinusoid plus a
+// weekly modulation, optional harmonics, and observation noise.
+struct PeriodicTraceParams {
+  double base = 0.30;              // mean utilization level
+  double daily_amplitude = 0.20;   // half peak-to-trough of the daily cycle
+  double weekly_dip = 0.05;        // weekend attenuation of the daily peak
+  double harmonic_amplitude = 0.04;  // 2x-daily harmonic (lunch/evening peaks)
+  double noise_stddev = 0.015;     // white observation noise
+  double phase_fraction = 0.0;     // phase offset as a fraction of a day
+};
+
+// Parameters of a constant tenant (crawlers, scrubbers, most back-ends).
+struct ConstantTraceParams {
+  double level = 0.25;
+  double noise_stddev = 0.01;
+  // Slow random drift of the level (mean-reverting), still "constant" at the
+  // classifier's threshold when kept small.
+  double drift_stddev = 0.002;
+};
+
+// Parameters of an unpredictable tenant (dev/test, ad-hoc workloads): a
+// mean-reverting random walk with occasional heavy-tailed bursts.
+struct UnpredictableTraceParams {
+  double base = 0.20;
+  double walk_stddev = 0.02;       // per-slot random-walk step
+  double reversion = 0.01;         // pull toward base per slot
+  double burst_rate_per_day = 1.0;  // Poisson rate of load bursts
+  double burst_height = 0.45;      // mean burst amplitude
+  double burst_duration_slots = 40;  // mean burst length (slots)
+  double noise_stddev = 0.01;
+};
+
+UtilizationTrace GeneratePeriodicTrace(const PeriodicTraceParams& params, size_t slots, Rng& rng);
+UtilizationTrace GenerateConstantTrace(const ConstantTraceParams& params, size_t slots, Rng& rng);
+UtilizationTrace GenerateUnpredictableTrace(const UnpredictableTraceParams& params, size_t slots,
+                                            Rng& rng);
+
+// Per-server trace derived from a tenant's "average server" trace: the same
+// shape with server-specific jitter (load is not perfectly balanced; §3.2).
+UtilizationTrace PerturbTrace(const UtilizationTrace& base, double jitter_stddev, Rng& rng);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_TRACE_GENERATORS_H_

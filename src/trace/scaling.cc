@@ -1,0 +1,101 @@
+#include "src/trace/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace harvest {
+
+namespace {
+
+double ApplyScale(double u, ScalingMethod method, double parameter) {
+  switch (method) {
+    case ScalingMethod::kLinear:
+      return std::min(1.0, parameter * u);
+    case ScalingMethod::kRoot:
+      return u <= 0.0 ? 0.0 : std::pow(u, parameter);
+  }
+  return u;
+}
+
+double ScaledAverage(const std::vector<UtilizationTrace>& traces, ScalingMethod method,
+                     double parameter) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const auto& trace : traces) {
+    for (double v : trace.samples()) {
+      sum += ApplyScale(v, method, parameter);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+const char* ScalingMethodName(ScalingMethod method) {
+  switch (method) {
+    case ScalingMethod::kLinear:
+      return "linear";
+    case ScalingMethod::kRoot:
+      return "root";
+  }
+  return "unknown";
+}
+
+UtilizationTrace ScaleTrace(const UtilizationTrace& trace, ScalingMethod method,
+                            double parameter) {
+  std::vector<double> scaled(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    scaled[i] = ApplyScale(trace.AtSlot(i), method, parameter);
+  }
+  return UtilizationTrace(std::move(scaled));
+}
+
+double SolveScalingParameter(const std::vector<UtilizationTrace>& traces, ScalingMethod method,
+                             double target_average) {
+  HARVEST_CHECK(target_average > 0.0 && target_average < 1.0)
+      << "target average must be in (0,1), got " << target_average;
+
+  // Scaled average is monotone in the parameter for both methods (increasing
+  // in the factor for linear, decreasing in the power for root), so bisection
+  // converges. Bracket generously.
+  double lo;
+  double hi;
+  bool increasing;
+  if (method == ScalingMethod::kLinear) {
+    lo = 0.0;
+    hi = 200.0;
+    increasing = true;
+  } else {
+    lo = 0.01;  // u^0.01 -> ~1 (max utilization)
+    hi = 50.0;  // u^50 -> ~0
+    increasing = false;
+  }
+
+  for (int iter = 0; iter < 80; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    double avg = ScaledAverage(traces, method, mid);
+    bool too_low = avg < target_average;
+    if (too_low == increasing) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<UtilizationTrace> ScaleToAverage(const std::vector<UtilizationTrace>& traces,
+                                             ScalingMethod method, double target_average) {
+  double parameter = SolveScalingParameter(traces, method, target_average);
+  std::vector<UtilizationTrace> scaled;
+  scaled.reserve(traces.size());
+  for (const auto& trace : traces) {
+    scaled.push_back(ScaleTrace(trace, method, parameter));
+  }
+  return scaled;
+}
+
+}  // namespace harvest

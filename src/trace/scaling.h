@@ -1,0 +1,38 @@
+// Utilization scaling used by the simulator to sweep the full utilization
+// spectrum (paper §6.1): linear scaling multiplies the series by a constant
+// and saturates at 100%; root scaling applies a power function so that high
+// utilizations move less than low ones, avoiding saturation artifacts.
+
+#ifndef HARVEST_SRC_TRACE_SCALING_H_
+#define HARVEST_SRC_TRACE_SCALING_H_
+
+#include <vector>
+
+#include "src/trace/utilization_trace.h"
+
+namespace harvest {
+
+enum class ScalingMethod {
+  kLinear = 0,  // u' = min(1, f * u)
+  kRoot = 1,    // u' = u^p  (p < 1 raises utilization, p > 1 lowers it)
+};
+
+const char* ScalingMethodName(ScalingMethod method);
+
+// Scales a single trace with a fixed factor/power.
+UtilizationTrace ScaleTrace(const UtilizationTrace& trace, ScalingMethod method, double parameter);
+
+// Finds (by bisection) the parameter such that the average of all traces,
+// after scaling, equals `target_average`. Returns the parameter; the traces
+// themselves are not modified.
+double SolveScalingParameter(const std::vector<UtilizationTrace>& traces, ScalingMethod method,
+                             double target_average);
+
+// Convenience: scales every trace so the population average hits
+// `target_average`.
+std::vector<UtilizationTrace> ScaleToAverage(const std::vector<UtilizationTrace>& traces,
+                                             ScalingMethod method, double target_average);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_TRACE_SCALING_H_

@@ -1,0 +1,10 @@
+#include "src/util/logging.h"
+
+namespace harvest {
+
+LogLevel& GlobalLogLevel() {
+  static LogLevel level = LogLevel::kWarning;
+  return level;
+}
+
+}  // namespace harvest

@@ -1,0 +1,87 @@
+// Minimal leveled logging to stderr. Kept header-only and dependency-free so
+// substrates can log without pulling in anything heavier.
+
+#ifndef HARVEST_SRC_UTIL_LOGGING_H_
+#define HARVEST_SRC_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace harvest {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; experiments lower it for verbose runs.
+LogLevel& GlobalLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << Tag(level) << " " << Basename(file) << ":" << line << "] ";
+  }
+
+  ~LogMessage() {
+    if (level_ >= GlobalLogLevel()) {
+      std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    }
+    if (level_ == LogLevel::kError && abort_on_error_) {
+      std::abort();
+    }
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+  LogMessage& set_abort(bool abort_on_error) {
+    abort_on_error_ = abort_on_error;
+    return *this;
+  }
+
+ private:
+  static const char* Tag(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug:
+        return "D";
+      case LogLevel::kInfo:
+        return "I";
+      case LogLevel::kWarning:
+        return "W";
+      default:
+        return "E";
+    }
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') {
+        base = p + 1;
+      }
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  bool abort_on_error_ = false;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HARVEST_LOG(level) \
+  ::harvest::internal::LogMessage(::harvest::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+// Fatal check used for internal invariants; always evaluates `cond`.
+#define HARVEST_CHECK(cond)                                                             \
+  if (!(cond))                                                                          \
+  ::harvest::internal::LogMessage(::harvest::LogLevel::kError, __FILE__, __LINE__)      \
+      .set_abort(true)                                                                  \
+      .stream()                                                                         \
+      << "Check failed: " #cond " "
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,183 @@
+#include "src/core/class_selector.h"
+
+#include <gtest/gtest.h>
+
+namespace harvest {
+namespace {
+
+// Builds a snapshot with one class per pattern and controllable utilization.
+ClusteringSnapshot MakeSnapshot(double periodic_avg, double periodic_peak, double constant_avg,
+                                double constant_peak, double wild_avg, double wild_peak,
+                                int cores_per_class = 1000) {
+  ClusteringSnapshot snapshot;
+  auto add = [&snapshot, cores_per_class](UtilizationPattern pattern, double avg, double peak) {
+    UtilizationClass cls;
+    cls.id = static_cast<int>(snapshot.classes.size());
+    cls.pattern = pattern;
+    cls.label = PatternName(pattern);
+    cls.average_utilization = avg;
+    cls.peak_utilization = peak;
+    cls.total_cores = cores_per_class;
+    snapshot.classes.push_back(cls);
+  };
+  add(UtilizationPattern::kPeriodic, periodic_avg, periodic_peak);
+  add(UtilizationPattern::kConstant, constant_avg, constant_peak);
+  add(UtilizationPattern::kUnpredictable, wild_avg, wild_peak);
+  return snapshot;
+}
+
+std::vector<ClassState> MakeStates(const ClusteringSnapshot& snapshot, double current,
+                                   int available) {
+  std::vector<ClassState> states;
+  for (const auto& cls : snapshot.classes) {
+    states.push_back(ClassState{cls.id, current, available});
+  }
+  return states;
+}
+
+TEST(ClassSelectorTest, HeadroomDefinitionsPerJobType) {
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.7, 0.2, 0.25, 0.4, 0.9);
+  ClassSelector selector(&snapshot);
+  const UtilizationClass& periodic = snapshot.classes[0];
+  // Short: 1 - current only.
+  EXPECT_NEAR(selector.Headroom(JobType::kShort, periodic, 0.5), 0.5, 1e-12);
+  // Medium: 1 - max(avg, current).
+  EXPECT_NEAR(selector.Headroom(JobType::kMedium, periodic, 0.1), 0.7, 1e-12);
+  EXPECT_NEAR(selector.Headroom(JobType::kMedium, periodic, 0.6), 0.4, 1e-12);
+  // Long: 1 - max(peak, current).
+  EXPECT_NEAR(selector.Headroom(JobType::kLong, periodic, 0.1), 0.3, 1e-12);
+  EXPECT_NEAR(selector.Headroom(JobType::kLong, periodic, 0.8), 0.2, 1e-12);
+}
+
+TEST(ClassSelectorTest, HeadroomClampsToZero) {
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 1.0, 0.2, 0.3, 0.4, 0.9);
+  ClassSelector selector(&snapshot);
+  EXPECT_DOUBLE_EQ(selector.Headroom(JobType::kLong, snapshot.classes[0], 0.0), 0.0);
+}
+
+TEST(ClassSelectorTest, LongJobsPreferConstantClasses) {
+  // Same live conditions everywhere: only history + weights discriminate.
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.6, 0.3, 0.35, 0.3, 0.6);
+  ClassSelector selector(&snapshot);
+  Rng rng(1);
+  int constant_picks = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    ClassSelection sel = selector.Select(JobType::kLong, 10, MakeStates(snapshot, 0.3, 500), rng);
+    ASSERT_EQ(sel.class_ids.size(), 1u);
+    if (snapshot.classes[static_cast<size_t>(sel.class_ids[0])].pattern ==
+        UtilizationPattern::kConstant) {
+      ++constant_picks;
+    }
+  }
+  // Constant has both the higher weight (3 vs 2/1) and more peak headroom.
+  EXPECT_GT(constant_picks, trials / 2);
+}
+
+TEST(ClassSelectorTest, ShortJobsPreferUnpredictableClasses) {
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.6, 0.3, 0.35, 0.3, 0.9);
+  ClassSelector selector(&snapshot);
+  Rng rng(2);
+  int wild_picks = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    ClassSelection sel =
+        selector.Select(JobType::kShort, 10, MakeStates(snapshot, 0.3, 500), rng);
+    ASSERT_EQ(sel.class_ids.size(), 1u);
+    if (snapshot.classes[static_cast<size_t>(sel.class_ids[0])].pattern ==
+        UtilizationPattern::kUnpredictable) {
+      ++wild_picks;
+    }
+  }
+  // Weight 3/6 of total at equal headroom (short ignores peak history).
+  EXPECT_GT(wild_picks, trials * 40 / 100);
+}
+
+TEST(ClassSelectorTest, NoFitReturnsEmpty) {
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.6, 0.3, 0.4, 0.3, 0.7);
+  ClassSelector selector(&snapshot);
+  Rng rng(3);
+  // Demands more cores than every class combined can host.
+  ClassSelection sel =
+      selector.Select(JobType::kMedium, 10000, MakeStates(snapshot, 0.3, 100), rng);
+  EXPECT_TRUE(sel.empty());
+}
+
+TEST(ClassSelectorTest, MultiClassCombinationWhenNoSingleClassFits) {
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.6, 0.3, 0.4, 0.3, 0.7);
+  ClassSelector selector(&snapshot);
+  Rng rng(4);
+  // Each class can host 100 cores; the job needs 250 -> needs >= 3 classes.
+  ClassSelection sel =
+      selector.Select(JobType::kMedium, 250, MakeStates(snapshot, 0.3, 100), rng);
+  ASSERT_FALSE(sel.empty());
+  EXPECT_GE(sel.class_ids.size(), 3u);
+  // No class repeats.
+  std::vector<int> ids = sel.class_ids;
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(ClassSelectorTest, SaturatedClassIsNeverPicked) {
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.6, 0.3, 0.4, 0.3, 0.7);
+  ClassSelector selector(&snapshot);
+  Rng rng(5);
+  std::vector<ClassState> states = MakeStates(snapshot, 0.3, 500);
+  states[1].available_cores = 0;  // constant class has nothing free
+  for (int i = 0; i < 200; ++i) {
+    ClassSelection sel = selector.Select(JobType::kLong, 10, states, rng);
+    ASSERT_FALSE(sel.empty());
+    EXPECT_NE(sel.class_ids[0], 1);
+  }
+}
+
+TEST(ClassSelectorTest, FullyUtilizedClassHasZeroWeight) {
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.6, 0.3, 0.4, 0.3, 0.7);
+  ClassSelector selector(&snapshot);
+  Rng rng(6);
+  std::vector<ClassState> states = MakeStates(snapshot, 0.3, 500);
+  states[2].current_utilization = 1.0;  // unpredictable class saturated now
+  for (int i = 0; i < 200; ++i) {
+    ClassSelection sel = selector.Select(JobType::kShort, 10, states, rng);
+    ASSERT_FALSE(sel.empty());
+    EXPECT_NE(sel.class_ids[0], 2);
+  }
+}
+
+TEST(ClassSelectorTest, SelectionReportsJobTypeAndHeadrooms) {
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.6, 0.3, 0.4, 0.3, 0.7);
+  ClassSelector selector(&snapshot);
+  Rng rng(7);
+  ClassSelection sel = selector.Select(JobType::kLong, 10, MakeStates(snapshot, 0.2, 500), rng);
+  ASSERT_EQ(sel.class_ids.size(), sel.headrooms.size());
+  EXPECT_EQ(sel.job_type, JobType::kLong);
+  for (double h : sel.headrooms) {
+    EXPECT_GT(h, 0.0);
+    EXPECT_LE(h, 1.0);
+  }
+}
+
+TEST(RankingWeightsTest, DefaultMatchesPaperRanking) {
+  RankingWeights w = RankingWeights::Default();
+  auto weight = [&w](JobType t, UtilizationPattern p) {
+    return w.weight[static_cast<int>(t)][static_cast<int>(p)];
+  };
+  // Long: constant > periodic > unpredictable.
+  EXPECT_GT(weight(JobType::kLong, UtilizationPattern::kConstant),
+            weight(JobType::kLong, UtilizationPattern::kPeriodic));
+  EXPECT_GT(weight(JobType::kLong, UtilizationPattern::kPeriodic),
+            weight(JobType::kLong, UtilizationPattern::kUnpredictable));
+  // Short: unpredictable > periodic > constant.
+  EXPECT_GT(weight(JobType::kShort, UtilizationPattern::kUnpredictable),
+            weight(JobType::kShort, UtilizationPattern::kPeriodic));
+  EXPECT_GT(weight(JobType::kShort, UtilizationPattern::kPeriodic),
+            weight(JobType::kShort, UtilizationPattern::kConstant));
+  // Medium: periodic > constant > unpredictable.
+  EXPECT_GT(weight(JobType::kMedium, UtilizationPattern::kPeriodic),
+            weight(JobType::kMedium, UtilizationPattern::kConstant));
+  EXPECT_GT(weight(JobType::kMedium, UtilizationPattern::kConstant),
+            weight(JobType::kMedium, UtilizationPattern::kUnpredictable));
+}
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,90 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace harvest {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(3.0, [&order] { order.push_back(3); });
+  queue.Schedule(1.0, [&order] { order.push_back(1); });
+  queue.Schedule(2.0, [&order] { order.push_back(2); });
+  queue.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakInInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  queue.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, ScheduleInThePastClampsToNow) {
+  EventQueue queue;
+  double fired_at = -1.0;
+  queue.Schedule(10.0, [&queue, &fired_at] {
+    queue.Schedule(2.0, [&queue, &fired_at] { fired_at = queue.now(); });
+  });
+  queue.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon) {
+  EventQueue queue;
+  int fired = 0;
+  queue.Schedule(1.0, [&fired] { ++fired; });
+  queue.Schedule(2.0, [&fired] { ++fired; });
+  queue.Schedule(5.0, [&fired] { ++fired; });
+  queue.RunUntil(3.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.size(), 1u);
+  queue.RunUntil(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue queue;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    ++chain;
+    if (chain < 5) {
+      queue.ScheduleAfter(1.0, step);
+    }
+  };
+  queue.Schedule(0.0, step);
+  queue.RunAll();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+}
+
+TEST(EventQueueTest, RunOneOnEmptyReturnsFalse) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.RunOne());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, PeekTimeSeesEarliest) {
+  EventQueue queue;
+  queue.Schedule(7.0, [] {});
+  queue.Schedule(4.0, [] {});
+  EXPECT_DOUBLE_EQ(queue.PeekTime(), 4.0);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWithoutEvents) {
+  EventQueue queue;
+  queue.RunUntil(42.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 42.0);
+}
+
+}  // namespace
+}  // namespace harvest

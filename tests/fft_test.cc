@@ -1,0 +1,116 @@
+#include "src/signal/fft.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace harvest {
+namespace {
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(FftTest, DeltaFunctionHasFlatSpectrum) {
+  std::vector<double> series(8, 0.0);
+  series[0] = 1.0;
+  auto spectrum = FftReal(series);
+  for (const auto& bin : spectrum) {
+    EXPECT_NEAR(std::abs(bin), 1.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ConstantSeriesIsDcOnly) {
+  std::vector<double> series(16, 3.0);
+  auto magnitudes = MagnitudeSpectrum(series);
+  EXPECT_NEAR(magnitudes[0], 48.0, 1e-9);
+  for (size_t k = 1; k < magnitudes.size(); ++k) {
+    EXPECT_NEAR(magnitudes[k], 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(FftTest, PureSinusoidPeaksAtItsFrequency) {
+  const size_t n = 256;
+  const int cycles = 10;
+  std::vector<double> series(n);
+  for (size_t i = 0; i < n; ++i) {
+    series[i] = std::sin(2.0 * M_PI * cycles * static_cast<double>(i) / n);
+  }
+  auto magnitudes = MagnitudeSpectrum(series);
+  size_t argmax = 1;
+  for (size_t k = 1; k < magnitudes.size(); ++k) {
+    if (magnitudes[k] > magnitudes[argmax]) {
+      argmax = k;
+    }
+  }
+  EXPECT_EQ(argmax, static_cast<size_t>(cycles));
+  // Energy of sin over n bins splits between +/- frequencies: n/2 each.
+  EXPECT_NEAR(magnitudes[argmax], n / 2.0, 1e-6);
+}
+
+TEST(FftTest, InverseRecoversInput) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 32; ++i) {
+    data.emplace_back(std::cos(0.3 * i), std::sin(0.11 * i));
+  }
+  auto original = data;
+  FftInPlace(data, /*inverse=*/false);
+  FftInPlace(data, /*inverse=*/true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real() / 32.0, original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag() / 32.0, original[i].imag(), 1e-10);
+  }
+}
+
+TEST(FftTest, LinearityOfTransform) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+  std::vector<double> b = {0.5, -1.0, 0.25, 2.0, -0.75, 1.5, 0.0, -2.0};
+  std::vector<double> sum(8);
+  for (size_t i = 0; i < 8; ++i) {
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  auto fa = FftReal(a);
+  auto fb = FftReal(b);
+  auto fsum = FftReal(sum);
+  for (size_t k = 0; k < fsum.size(); ++k) {
+    std::complex<double> expected = 2.0 * fa[k] + 3.0 * fb[k];
+    EXPECT_NEAR(fsum[k].real(), expected.real(), 1e-9);
+    EXPECT_NEAR(fsum[k].imag(), expected.imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, NonPowerOfTwoInputIsZeroPadded) {
+  std::vector<double> series(100, 1.0);
+  auto spectrum = FftReal(series);
+  EXPECT_EQ(spectrum.size(), 128u);
+  // DC bin is the sum of the (padded) series.
+  EXPECT_NEAR(spectrum[0].real(), 100.0, 1e-9);
+}
+
+// Parseval's theorem as a property over sizes.
+class FftParsevalTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftParsevalTest, EnergyPreserved) {
+  const size_t n = GetParam();
+  std::vector<std::complex<double>> data(n);
+  double time_energy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double v = std::sin(0.7 * static_cast<double>(i)) + 0.2 * static_cast<double>(i % 5);
+    data[i] = {v, 0.0};
+    time_energy += v * v;
+  }
+  FftInPlace(data, /*inverse=*/false);
+  double freq_energy = 0.0;
+  for (const auto& bin : data) {
+    freq_energy += std::norm(bin);
+  }
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6 * time_energy + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftParsevalTest, ::testing::Values(2, 8, 64, 512, 4096));
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,157 @@
+#include "src/trace/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.h"
+
+namespace harvest {
+namespace {
+
+SummaryStats Summarize(const UtilizationTrace& trace) {
+  SummaryStats stats;
+  for (double v : trace.samples()) {
+    stats.Add(v);
+  }
+  return stats;
+}
+
+TEST(GeneratorsTest, PeriodicTraceMatchesBaseAndAmplitude) {
+  Rng rng(1);
+  PeriodicTraceParams params;
+  params.base = 0.35;
+  params.daily_amplitude = 0.20;
+  params.noise_stddev = 0.0;
+  params.harmonic_amplitude = 0.0;
+  params.weekly_dip = 0.0;
+  UtilizationTrace trace = GeneratePeriodicTrace(params, kSlotsPerMonth, rng);
+  SummaryStats stats = Summarize(trace);
+  EXPECT_NEAR(stats.mean(), 0.35, 0.01);
+  EXPECT_NEAR(stats.max(), 0.55, 0.02);
+  EXPECT_NEAR(stats.min(), 0.15, 0.02);
+}
+
+TEST(GeneratorsTest, PeriodicTraceRepeatsDaily) {
+  Rng rng(2);
+  PeriodicTraceParams params;
+  params.noise_stddev = 0.0;
+  params.weekly_dip = 0.0;
+  params.harmonic_amplitude = 0.0;
+  UtilizationTrace trace = GeneratePeriodicTrace(params, kSlotsPerDay * 4, rng);
+  for (size_t i = 0; i < kSlotsPerDay; i += 16) {
+    EXPECT_NEAR(trace.AtSlot(i), trace.AtSlot(i + kSlotsPerDay), 1e-9);
+  }
+}
+
+TEST(GeneratorsTest, WeeklyDipLowersWeekendPeaks) {
+  Rng rng(3);
+  PeriodicTraceParams params;
+  params.base = 0.4;
+  params.daily_amplitude = 0.25;
+  params.weekly_dip = 0.10;
+  params.noise_stddev = 0.0;
+  params.harmonic_amplitude = 0.0;
+  UtilizationTrace trace = GeneratePeriodicTrace(params, kSlotsPerDay * 7, rng);
+  double weekday_peak = 0.0;
+  double weekend_peak = 0.0;
+  for (size_t i = 0; i < kSlotsPerDay * 5; ++i) {
+    weekday_peak = std::max(weekday_peak, trace.AtSlot(i));
+  }
+  for (size_t i = kSlotsPerDay * 5; i < kSlotsPerDay * 7; ++i) {
+    weekend_peak = std::max(weekend_peak, trace.AtSlot(i));
+  }
+  EXPECT_GT(weekday_peak, weekend_peak + 0.05);
+}
+
+TEST(GeneratorsTest, ConstantTraceStaysNearLevel) {
+  Rng rng(4);
+  ConstantTraceParams params;
+  params.level = 0.25;
+  UtilizationTrace trace = GenerateConstantTrace(params, kSlotsPerMonth, rng);
+  SummaryStats stats = Summarize(trace);
+  EXPECT_NEAR(stats.mean(), 0.25, 0.04);
+  EXPECT_LT(stats.stddev(), 0.05);  // stays under the classifier threshold
+}
+
+TEST(GeneratorsTest, UnpredictableTraceHasBursts) {
+  Rng rng(5);
+  UnpredictableTraceParams params;
+  params.base = 0.2;
+  params.burst_rate_per_day = 2.0;
+  params.burst_height = 0.5;
+  UtilizationTrace trace = GenerateUnpredictableTrace(params, kSlotsPerMonth, rng);
+  SummaryStats stats = Summarize(trace);
+  EXPECT_GT(stats.max(), 0.6);       // bursts reach high
+  EXPECT_GT(stats.stddev(), 0.05);   // variability well above constant traces
+}
+
+TEST(GeneratorsTest, BurstRateZeroMeansNoBursts) {
+  Rng rng(6);
+  UnpredictableTraceParams params;
+  params.base = 0.2;
+  params.burst_rate_per_day = 0.0;
+  params.walk_stddev = 0.0;
+  params.noise_stddev = 0.0;
+  UtilizationTrace trace = GenerateUnpredictableTrace(params, kSlotsPerDay, rng);
+  SummaryStats stats = Summarize(trace);
+  EXPECT_NEAR(stats.max(), 0.2, 1e-9);
+}
+
+TEST(GeneratorsTest, PerturbTracePreservesShape) {
+  Rng rng(7);
+  PeriodicTraceParams params;
+  params.noise_stddev = 0.0;
+  UtilizationTrace base = GeneratePeriodicTrace(params, kSlotsPerDay * 2, rng);
+  UtilizationTrace jittered = PerturbTrace(base, 0.02, rng);
+  ASSERT_EQ(jittered.size(), base.size());
+  // Same shape: strong correlation between base and perturbed.
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  double mean_a = base.Average();
+  double mean_b = jittered.Average();
+  for (size_t i = 0; i < base.size(); ++i) {
+    double da = base.AtSlot(i) - mean_a;
+    double db = jittered.AtSlot(i) - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  double correlation = cov / std::sqrt(var_a * var_b);
+  EXPECT_GT(correlation, 0.9);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  PeriodicTraceParams params;
+  Rng rng1(99);
+  Rng rng2(99);
+  UtilizationTrace a = GeneratePeriodicTrace(params, 1000, rng1);
+  UtilizationTrace b = GeneratePeriodicTrace(params, 1000, rng2);
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+// Property: all generators always produce values in [0, 1].
+class GeneratorRangeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorRangeTest, AllValuesInRange) {
+  Rng rng(GetParam());
+  PeriodicTraceParams periodic;
+  periodic.base = 0.8;           // pushes against the ceiling
+  periodic.daily_amplitude = 0.4;
+  ConstantTraceParams constant;
+  constant.level = 0.05;         // pushes against the floor
+  UnpredictableTraceParams wild;
+  wild.burst_height = 0.9;
+  for (const UtilizationTrace& trace :
+       {GeneratePeriodicTrace(periodic, 5000, rng), GenerateConstantTrace(constant, 5000, rng),
+        GenerateUnpredictableTrace(wild, 5000, rng)}) {
+    for (double v : trace.samples()) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorRangeTest, ::testing::Values(1u, 7u, 42u, 1234u));
+
+}  // namespace
+}  // namespace harvest

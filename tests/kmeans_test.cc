@@ -1,0 +1,139 @@
+#include "src/core/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace harvest {
+namespace {
+
+std::vector<std::vector<double>> ThreeBlobs(int per_blob, Rng& rng) {
+  std::vector<std::vector<double>> points;
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back({centers[c][0] + rng.Normal(0.0, 0.3),
+                        centers[c][1] + rng.Normal(0.0, 0.3)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, EmptyInput) {
+  Rng rng(1);
+  KMeansResult result = KMeansCluster({}, 3, rng);
+  EXPECT_TRUE(result.assignment.empty());
+  EXPECT_TRUE(result.centroids.empty());
+}
+
+TEST(KMeansTest, SinglePoint) {
+  Rng rng(1);
+  KMeansResult result = KMeansCluster({{1.0, 2.0}}, 3, rng);
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_EQ(result.assignment, (std::vector<int>{0}));
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(2);
+  auto points = ThreeBlobs(30, rng);
+  KMeansResult result = KMeansCluster(points, 3, rng);
+  ASSERT_EQ(result.centroids.size(), 3u);
+  // All points of one blob share one assignment.
+  for (int blob = 0; blob < 3; ++blob) {
+    int first = result.assignment[static_cast<size_t>(blob * 30)];
+    for (int i = 1; i < 30; ++i) {
+      EXPECT_EQ(result.assignment[static_cast<size_t>(blob * 30 + i)], first);
+    }
+  }
+  // Inertia is small relative to blob separation.
+  EXPECT_LT(result.inertia / points.size(), 1.0);
+}
+
+TEST(KMeansTest, DuplicatePointsCollapseClusters) {
+  Rng rng(3);
+  std::vector<std::vector<double>> points(10, {5.0, 5.0});
+  KMeansResult result = KMeansCluster(points, 4, rng);
+  EXPECT_EQ(result.centroids.size(), 1u);  // seeding stops at identical points
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, AssignmentsIndexPopulatedCentroidsOnly) {
+  Rng rng(4);
+  auto points = ThreeBlobs(10, rng);
+  KMeansResult result = KMeansCluster(points, 3, rng);
+  for (int a : result.assignment) {
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, static_cast<int>(result.centroids.size()));
+  }
+}
+
+TEST(KMeansTest, KLargerThanPointsClamps) {
+  Rng rng(5);
+  std::vector<std::vector<double>> points = {{0.0}, {10.0}};
+  KMeansResult result = KMeansCluster(points, 10, rng);
+  EXPECT_EQ(result.centroids.size(), 2u);
+  EXPECT_NE(result.assignment[0], result.assignment[1]);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(6);
+  auto points = ThreeBlobs(20, rng);
+  double inertia1 = KMeansCluster(points, 1, rng).inertia;
+  double inertia3 = KMeansCluster(points, 3, rng).inertia;
+  EXPECT_LT(inertia3, inertia1 * 0.1);
+}
+
+TEST(KMeansTest, AutoPicksThreeForThreeBlobs) {
+  Rng rng(7);
+  auto points = ThreeBlobs(25, rng);
+  KMeansResult result = KMeansAuto(points, 8, rng, /*min_gain=*/0.15);
+  EXPECT_EQ(result.centroids.size(), 3u);
+}
+
+TEST(KMeansTest, AutoPicksOneForSingleBlob) {
+  Rng rng(8);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({rng.Normal(0.0, 0.4), rng.Normal(0.0, 0.4)});
+  }
+  KMeansResult result = KMeansAuto(points, 8, rng, /*min_gain=*/0.5);
+  EXPECT_LE(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  auto points_a = ThreeBlobs(15, rng_a);
+  auto points_b = ThreeBlobs(15, rng_b);
+  KMeansResult a = KMeansCluster(points_a, 3, rng_a);
+  KMeansResult b = KMeansCluster(points_b, 3, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+// Property: centroids are the means of their members (Lloyd fixed point).
+class KMeansFixedPointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansFixedPointTest, CentroidsAreClusterMeans) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  auto points = ThreeBlobs(20, rng);
+  KMeansResult result = KMeansCluster(points, GetParam(), rng);
+  const size_t k = result.centroids.size();
+  std::vector<std::vector<double>> sums(k, std::vector<double>(2, 0.0));
+  std::vector<int> counts(k, 0);
+  for (size_t i = 0; i < points.size(); ++i) {
+    size_t c = static_cast<size_t>(result.assignment[i]);
+    sums[c][0] += points[i][0];
+    sums[c][1] += points[i][1];
+    ++counts[c];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    ASSERT_GT(counts[c], 0);
+    EXPECT_NEAR(result.centroids[c][0], sums[c][0] / counts[c], 1e-6);
+    EXPECT_NEAR(result.centroids[c][1], sums[c][1] / counts[c], 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansFixedPointTest, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,121 @@
+#include "src/latency/service_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/stats.h"
+
+namespace harvest {
+namespace {
+
+ServiceModelParams NoiselessParams() {
+  ServiceModelParams params;
+  params.noise_ms = 0.0;
+  return params;
+}
+
+TEST(ServiceLatencyTest, UnloadedServerSitsAtBase) {
+  ServiceLatencyModel model(NoiselessParams());
+  Rng rng(1);
+  double p99 = model.ServerP99(0.0, 0, 0.0, 0, 0, rng);
+  EXPECT_NEAR(p99, model.params().base_ms, 1e-9);
+}
+
+TEST(ServiceLatencyTest, NoHarvestBaselineInPaperRange) {
+  // The paper's No-Harvesting average tail latencies range 369-406 ms;
+  // the calibrated model must land typical primary loads in that band.
+  ServiceLatencyModel model;
+  Rng rng(2);
+  SummaryStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    double load = 0.15 + 0.5 * rng.NextDouble();  // typical testbed loads
+    stats.Add(model.ServerP99(load, 0, load, 0, 0, rng));
+  }
+  EXPECT_GT(stats.mean(), 350.0);
+  EXPECT_LT(stats.mean(), 420.0);
+}
+
+TEST(ServiceLatencyTest, MonotoneInPrimaryLoad) {
+  ServiceLatencyModel model(NoiselessParams());
+  Rng rng(3);
+  double previous = -1.0;
+  for (double load : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    double p99 = model.ServerP99(load, 0, load, 0, 0, rng);
+    EXPECT_GT(p99, previous);
+    previous = p99;
+  }
+}
+
+TEST(ServiceLatencyTest, QueueTermIsCapped) {
+  ServiceLatencyModel model(NoiselessParams());
+  Rng rng(4);
+  double p99 = model.ServerP99(0.999, 0, 0.999, 0, 0, rng);
+  EXPECT_LE(p99, model.params().base_ms + model.params().max_queue_ms +
+                     model.params().crowding_ms + 1e-9);
+}
+
+TEST(ServiceLatencyTest, OvercommitDominates) {
+  // CPU overcommit (stock YARN) must hurt far more than any clean state.
+  ServiceLatencyModel model(NoiselessParams());
+  Rng rng(5);
+  double clean = model.ServerP99(0.5, 0, 0.9, 0, 0, rng);
+  double overcommitted = model.ServerP99(0.5, 3, 1.0, 0, 0, rng);
+  EXPECT_GT(overcommitted, clean + 2.0 * model.params().overcommit_ms_per_core);
+}
+
+TEST(ServiceLatencyTest, KillReactionIsSmall) {
+  // PT/H interference is transient: a couple of kills must stay within the
+  // ~47 ms budget Fig 10/12 allow over the baseline.
+  ServiceLatencyModel model(NoiselessParams());
+  Rng rng(6);
+  double baseline = model.ServerP99(0.5, 0, 0.5, 0, 0, rng);
+  double with_kills = model.ServerP99(0.5, 0, 0.5, 2, 0, rng);
+  EXPECT_LT(with_kills - baseline, 47.0);
+  EXPECT_GT(with_kills, baseline);
+}
+
+TEST(ServiceLatencyTest, DiskInterferenceAdds) {
+  ServiceLatencyModel model(NoiselessParams());
+  Rng rng(7);
+  double clean = model.ServerP99(0.7, 0, 0.7, 0, 0, rng);
+  double noisy = model.ServerP99(0.7, 0, 0.7, 0, 3, rng);
+  EXPECT_NEAR(noisy - clean, 3.0 * model.params().disk_interference_ms, 1e-9);
+}
+
+TEST(ServiceLatencyTest, CrowdingKicksInAboveKnee) {
+  ServiceLatencyModel model(NoiselessParams());
+  Rng rng(8);
+  double below = model.ServerP99(0.3, 0, 0.85, 0, 0, rng);
+  double above = model.ServerP99(0.3, 0, 0.97, 0, 0, rng);
+  EXPECT_GT(above, below);
+}
+
+TEST(ServiceLatencyTest, NeverNegative) {
+  ServiceModelParams params;
+  params.base_ms = 1.0;
+  params.noise_ms = 50.0;  // noise could push below zero without the clamp
+  ServiceLatencyModel model(params);
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(model.ServerP99(0.1, 0, 0.1, 0, 0, rng), 0.0);
+  }
+}
+
+// Property: latency ordering Stock > PT > baseline holds for any load level.
+class LatencyOrderingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatencyOrderingTest, StockWorseThanAwareWorseThanIdle) {
+  double load = GetParam();
+  ServiceLatencyModel model(NoiselessParams());
+  Rng rng(10);
+  double baseline = model.ServerP99(load, 0, load, 0, 0, rng);
+  double aware = model.ServerP99(load, 0, std::min(1.0, load + 0.3), 1, 0, rng);
+  double stock = model.ServerP99(load, 2, 1.0, 0, 1, rng);
+  EXPECT_GE(aware, baseline);
+  EXPECT_GT(stock, aware);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LatencyOrderingTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.85));
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,152 @@
+#include "src/core/placement_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/datacenter.h"
+
+namespace harvest {
+namespace {
+
+std::vector<TenantPlacementStats> UniformTenants(int n, int64_t blocks_each) {
+  std::vector<TenantPlacementStats> tenants;
+  for (int i = 0; i < n; ++i) {
+    TenantPlacementStats t;
+    t.tenant = i;
+    t.environment = i;
+    t.reimage_rate = 0.05 * i;           // strictly increasing
+    t.peak_utilization = 0.01 * (i % 37);  // decorrelated from reimage rate
+    t.available_blocks = blocks_each;
+    tenants.push_back(t);
+  }
+  return tenants;
+}
+
+TEST(PlacementGridTest, EmptyInputYieldsEmptyGrid) {
+  PlacementGrid grid = PlacementGrid::Build({});
+  EXPECT_EQ(grid.total_blocks(), 0);
+  EXPECT_EQ(grid.CellOfTenant(0), (std::pair<int, int>{-1, -1}));
+}
+
+TEST(PlacementGridTest, EveryTenantInExactlyOneCell) {
+  auto tenants = UniformTenants(90, 100);
+  PlacementGrid grid = PlacementGrid::Build(tenants);
+  int found = 0;
+  for (int r = 0; r < kGridDim; ++r) {
+    for (int c = 0; c < kGridDim; ++c) {
+      for (TenantId t : grid.cell(r, c).tenants) {
+        auto cell = grid.CellOfTenant(t);
+        EXPECT_EQ(cell.first, r);
+        EXPECT_EQ(cell.second, c);
+        ++found;
+      }
+    }
+  }
+  EXPECT_EQ(found, 90);
+}
+
+TEST(PlacementGridTest, EqualSpaceSplitWithUniformTenants) {
+  auto tenants = UniformTenants(90, 100);
+  PlacementGrid grid = PlacementGrid::Build(tenants);
+  EXPECT_EQ(grid.total_blocks(), 9000);
+  // With identical tenant sizes every cell holds exactly S/9.
+  for (int r = 0; r < kGridDim; ++r) {
+    for (int c = 0; c < kGridDim; ++c) {
+      EXPECT_EQ(grid.cell(r, c).total_blocks, 1000) << "cell " << r << "," << c;
+    }
+  }
+  EXPECT_NEAR(grid.BalanceRatio(), 1.0, 1e-12);
+}
+
+TEST(PlacementGridTest, ColumnsOrderedByReimageRate) {
+  auto tenants = UniformTenants(90, 100);
+  PlacementGrid grid = PlacementGrid::Build(tenants);
+  // Max reimage rate of column c must not exceed min of column c+1.
+  for (int c = 0; c + 1 < kGridDim; ++c) {
+    double max_c = 0.0;
+    double min_next = 1e18;
+    for (int r = 0; r < kGridDim; ++r) {
+      for (TenantId t : grid.cell(r, c).tenants) {
+        max_c = std::max(max_c, tenants[static_cast<size_t>(t)].reimage_rate);
+      }
+      for (TenantId t : grid.cell(r, c + 1).tenants) {
+        min_next = std::min(min_next, tenants[static_cast<size_t>(t)].reimage_rate);
+      }
+    }
+    EXPECT_LE(max_c, min_next);
+  }
+}
+
+TEST(PlacementGridTest, RowsOrderedByPeakWithinEachColumn) {
+  auto tenants = UniformTenants(90, 100);
+  PlacementGrid grid = PlacementGrid::Build(tenants);
+  for (int c = 0; c < kGridDim; ++c) {
+    for (int r = 0; r + 1 < kGridDim; ++r) {
+      double max_r = -1.0;
+      double min_next = 1e18;
+      for (TenantId t : grid.cell(r, c).tenants) {
+        max_r = std::max(max_r, tenants[static_cast<size_t>(t)].peak_utilization);
+      }
+      for (TenantId t : grid.cell(r + 1, c).tenants) {
+        min_next = std::min(min_next, tenants[static_cast<size_t>(t)].peak_utilization);
+      }
+      if (max_r >= 0.0 && min_next < 1e17) {
+        EXPECT_LE(max_r, min_next) << "column " << c << " rows " << r;
+      }
+    }
+  }
+}
+
+TEST(PlacementGridTest, LumpyTenantsStillLandInOneCell) {
+  // One giant tenant (half of all space) cannot be split across cells.
+  std::vector<TenantPlacementStats> tenants = UniformTenants(20, 100);
+  tenants[10].available_blocks = 2000;
+  PlacementGrid grid = PlacementGrid::Build(tenants);
+  auto cell = grid.CellOfTenant(10);
+  EXPECT_GE(cell.first, 0);
+  // The balance ratio degrades but the grid remains total-preserving.
+  int64_t total = 0;
+  for (int r = 0; r < kGridDim; ++r) {
+    for (int c = 0; c < kGridDim; ++c) {
+      total += grid.cell(r, c).total_blocks;
+    }
+  }
+  EXPECT_EQ(total, grid.total_blocks());
+  EXPECT_GE(grid.BalanceRatio(), 1.0);
+}
+
+TEST(PlacementGridTest, CollectPlacementStatsFromCluster) {
+  Rng rng(1);
+  BuildOptions options;
+  options.trace_slots = kSlotsPerDay;
+  options.reimage_months = 1;
+  options.scale = 0.4;
+  options.per_server_traces = false;
+  Cluster cluster = BuildCluster(DatacenterByName("DC-4"), options, rng);
+  auto stats = CollectPlacementStats(cluster);
+  ASSERT_EQ(stats.size(), cluster.num_tenants());
+  for (const auto& s : stats) {
+    EXPECT_GE(s.reimage_rate, 0.0);
+    EXPECT_GE(s.peak_utilization, 0.0);
+    EXPECT_LE(s.peak_utilization, 1.0);
+    EXPECT_GT(s.available_blocks, 0);
+    EXPECT_EQ(s.environment, cluster.tenant(s.tenant).environment);
+  }
+  PlacementGrid grid = PlacementGrid::Build(stats);
+  // Real fleets are lumpy (user-facing tenants are huge), so the equal-space
+  // objective cannot be met exactly; it must stay within a small factor.
+  EXPECT_LT(grid.BalanceRatio(), 5.0);
+}
+
+// Property: grid construction is invariant to input order.
+TEST(PlacementGridTest, OrderInvariance) {
+  auto tenants = UniformTenants(45, 100);
+  PlacementGrid forward = PlacementGrid::Build(tenants);
+  std::reverse(tenants.begin(), tenants.end());
+  PlacementGrid reversed = PlacementGrid::Build(tenants);
+  for (int t = 0; t < 45; ++t) {
+    EXPECT_EQ(forward.CellOfTenant(t), reversed.CellOfTenant(t)) << "tenant " << t;
+  }
+}
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,115 @@
+#include "src/trace/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/generators.h"
+
+namespace harvest {
+namespace {
+
+std::vector<UtilizationTrace> MakeTraces(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<UtilizationTrace> traces;
+  PeriodicTraceParams periodic;
+  traces.push_back(GeneratePeriodicTrace(periodic, 2000, rng));
+  ConstantTraceParams constant;
+  traces.push_back(GenerateConstantTrace(constant, 2000, rng));
+  UnpredictableTraceParams wild;
+  traces.push_back(GenerateUnpredictableTrace(wild, 2000, rng));
+  return traces;
+}
+
+double PopulationAverage(const std::vector<UtilizationTrace>& traces) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const auto& t : traces) {
+    for (double v : t.samples()) {
+      sum += v;
+      ++count;
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+TEST(ScalingTest, MethodNames) {
+  EXPECT_STREQ(ScalingMethodName(ScalingMethod::kLinear), "linear");
+  EXPECT_STREQ(ScalingMethodName(ScalingMethod::kRoot), "root");
+}
+
+TEST(ScalingTest, LinearScaleSaturatesAtOne) {
+  UtilizationTrace trace({0.2, 0.5, 0.9});
+  UtilizationTrace scaled = ScaleTrace(trace, ScalingMethod::kLinear, 2.0);
+  EXPECT_NEAR(scaled.AtSlot(0), 0.4, 1e-12);
+  EXPECT_NEAR(scaled.AtSlot(1), 1.0, 1e-12);
+  EXPECT_NEAR(scaled.AtSlot(2), 1.0, 1e-12);
+}
+
+TEST(ScalingTest, RootScaleCompressesHighValuesLess) {
+  UtilizationTrace trace({0.1, 0.9});
+  UtilizationTrace up = ScaleTrace(trace, ScalingMethod::kRoot, 0.5);  // sqrt raises
+  // sqrt: 0.1 -> 0.316 (+0.216), 0.9 -> 0.949 (+0.049): low values move more.
+  EXPECT_GT(up.AtSlot(0) - trace.AtSlot(0), up.AtSlot(1) - trace.AtSlot(1));
+}
+
+TEST(ScalingTest, RootPowerAboveOneLowersUtilization) {
+  UtilizationTrace trace({0.5});
+  UtilizationTrace down = ScaleTrace(trace, ScalingMethod::kRoot, 2.0);
+  EXPECT_NEAR(down.AtSlot(0), 0.25, 1e-12);
+}
+
+TEST(ScalingTest, ZeroStaysZeroUnderRoot) {
+  UtilizationTrace trace({0.0, 0.3});
+  UtilizationTrace scaled = ScaleTrace(trace, ScalingMethod::kRoot, 0.5);
+  EXPECT_DOUBLE_EQ(scaled.AtSlot(0), 0.0);
+}
+
+TEST(ScalingTest, LinearScalingAmplifiesVariationMoreThanRoot) {
+  // The crux of Fig 13: at the same target average, linear scaling yields
+  // larger temporal variation than root scaling.
+  std::vector<UtilizationTrace> traces = MakeTraces(3);
+  auto linear = ScaleToAverage(traces, ScalingMethod::kLinear, 0.55);
+  auto root = ScaleToAverage(traces, ScalingMethod::kRoot, 0.55);
+  auto variance = [](const std::vector<UtilizationTrace>& ts) {
+    double total = 0.0;
+    for (const auto& t : ts) {
+      double mean = t.Average();
+      double acc = 0.0;
+      for (double v : t.samples()) {
+        acc += (v - mean) * (v - mean);
+      }
+      total += acc / static_cast<double>(t.size());
+    }
+    return total;
+  };
+  EXPECT_GT(variance(linear), variance(root));
+}
+
+// Property: the solved parameter hits the target average for both methods
+// across the utilization spectrum.
+class ScaleTargetTest
+    : public ::testing::TestWithParam<std::tuple<ScalingMethod, double>> {};
+
+TEST_P(ScaleTargetTest, HitsTargetAverage) {
+  auto [method, target] = GetParam();
+  std::vector<UtilizationTrace> traces = MakeTraces(11);
+  auto scaled = ScaleToAverage(traces, method, target);
+  EXPECT_NEAR(PopulationAverage(scaled), target, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScaleTargetTest,
+    ::testing::Combine(::testing::Values(ScalingMethod::kLinear, ScalingMethod::kRoot),
+                       ::testing::Values(0.15, 0.30, 0.45, 0.60, 0.75)));
+
+TEST(ScalingTest, SolveIsMonotoneInTarget) {
+  std::vector<UtilizationTrace> traces = MakeTraces(13);
+  double f_low = SolveScalingParameter(traces, ScalingMethod::kLinear, 0.2);
+  double f_high = SolveScalingParameter(traces, ScalingMethod::kLinear, 0.6);
+  EXPECT_LT(f_low, f_high);
+  double p_low = SolveScalingParameter(traces, ScalingMethod::kRoot, 0.2);
+  double p_high = SolveScalingParameter(traces, ScalingMethod::kRoot, 0.6);
+  EXPECT_GT(p_low, p_high);  // larger power lowers utilization
+}
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,86 @@
+#include "src/signal/spectrum.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace harvest {
+namespace {
+
+std::vector<double> Sinusoid(size_t n, int cycles, double base, double amplitude) {
+  std::vector<double> series(n);
+  for (size_t i = 0; i < n; ++i) {
+    series[i] = base + amplitude * std::sin(2.0 * M_PI * cycles * static_cast<double>(i) / n);
+  }
+  return series;
+}
+
+TEST(SpectrumTest, EmptySeriesIsSafe) {
+  FrequencyProfile profile = ComputeFrequencyProfile({});
+  EXPECT_DOUBLE_EQ(profile.mean, 0.0);
+  EXPECT_EQ(profile.feature_bins.size(), FrequencyProfile::kFeatureBins);
+}
+
+TEST(SpectrumTest, SummaryStatsOfRawSeries) {
+  FrequencyProfile profile = ComputeFrequencyProfile({0.2, 0.4, 0.6, 0.4});
+  EXPECT_NEAR(profile.mean, 0.4, 1e-12);
+  EXPECT_NEAR(profile.peak, 0.6, 1e-12);
+  EXPECT_GT(profile.stddev, 0.0);
+}
+
+TEST(SpectrumTest, SinusoidHasDominantBinAtItsFrequency) {
+  FrequencyProfile profile = ComputeFrequencyProfile(Sinusoid(512, 31, 0.4, 0.2));
+  EXPECT_EQ(profile.dominant_frequency, 31u);
+  // A pure tone concentrates nearly all non-DC energy in one bin.
+  EXPECT_GT(profile.dominant_share, 0.5);
+  EXPECT_GT(profile.peak_to_median, 100.0);
+}
+
+TEST(SpectrumTest, ConstantSeriesHasNoDominantStructure) {
+  std::vector<double> series(512, 0.35);
+  FrequencyProfile profile = ComputeFrequencyProfile(series);
+  EXPECT_NEAR(profile.stddev, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(profile.dominant_share, 0.0);
+}
+
+TEST(SpectrumTest, FeatureVectorLayout) {
+  FrequencyProfile profile = ComputeFrequencyProfile(Sinusoid(256, 5, 0.3, 0.1));
+  std::vector<double> features = profile.AsFeatureVector();
+  ASSERT_EQ(features.size(), 4 + FrequencyProfile::kFeatureBins);
+  EXPECT_DOUBLE_EQ(features[0], profile.mean);
+  EXPECT_DOUBLE_EQ(features[1], profile.stddev);
+  EXPECT_DOUBLE_EQ(features[2], profile.dominant_share);
+  EXPECT_DOUBLE_EQ(features[3], profile.low_frequency_energy);
+  // The 5-cycle tone lands in feature bin index 4 (bin k=5 -> non-DC idx 4).
+  size_t argmax = 4;
+  for (size_t i = 4; i < features.size(); ++i) {
+    if (features[i] > features[argmax]) {
+      argmax = i;
+    }
+  }
+  EXPECT_EQ(argmax, 4u + 4u);
+}
+
+TEST(SpectrumTest, LowFrequencyEnergyHighForRareEvents) {
+  // A single slow ramp (rare event) concentrates energy at low bins.
+  std::vector<double> series(1024, 0.1);
+  for (size_t i = 100; i < 160; ++i) {
+    series[i] = 0.8;
+  }
+  FrequencyProfile rare = ComputeFrequencyProfile(series);
+  FrequencyProfile tone = ComputeFrequencyProfile(Sinusoid(1024, 200, 0.4, 0.3));
+  EXPECT_GT(rare.low_frequency_energy, tone.low_frequency_energy);
+}
+
+// Property: dominant frequency tracks the input tone across frequencies.
+class SpectrumToneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpectrumToneTest, DominantFrequencyMatchesTone) {
+  int cycles = GetParam();
+  FrequencyProfile profile = ComputeFrequencyProfile(Sinusoid(2048, cycles, 0.5, 0.25));
+  EXPECT_EQ(profile.dominant_frequency, static_cast<size_t>(cycles));
+}
+
+INSTANTIATE_TEST_SUITE_P(Tones, SpectrumToneTest, ::testing::Values(1, 7, 31, 100, 500));
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,93 @@
+#include "src/jobs/tpcds.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/job_history.h"
+
+namespace harvest {
+namespace {
+
+TEST(TpcDsTest, SuiteHas52Queries) {
+  auto suite = BuildTpcDsSuite(1);
+  ASSERT_EQ(suite.size(), static_cast<size_t>(kTpcDsQueryCount));
+  for (int q = 0; q < kTpcDsQueryCount; ++q) {
+    EXPECT_EQ(suite[static_cast<size_t>(q)].name(), "tpcds-q" + std::to_string(q + 1));
+    EXPECT_TRUE(suite[static_cast<size_t>(q)].Validate());
+    EXPECT_GT(suite[static_cast<size_t>(q)].num_stages(), 0);
+  }
+}
+
+TEST(TpcDsTest, Query19IsThePublishedDag) {
+  auto suite = BuildTpcDsSuite(1);
+  EXPECT_EQ(suite[18].MaxConcurrentTasks(), 469);
+}
+
+TEST(TpcDsTest, DeterministicForSeed) {
+  auto a = BuildTpcDsSuite(7);
+  auto b = BuildTpcDsSuite(7);
+  for (size_t q = 0; q < a.size(); ++q) {
+    ASSERT_EQ(a[q].num_stages(), b[q].num_stages());
+    for (int s = 0; s < a[q].num_stages(); ++s) {
+      EXPECT_EQ(a[q].stage(s).num_tasks, b[q].stage(s).num_tasks);
+      EXPECT_DOUBLE_EQ(a[q].stage(s).task_seconds, b[q].stage(s).task_seconds);
+    }
+  }
+}
+
+TEST(TpcDsTest, DifferentSeedsVaryShapes) {
+  auto a = BuildTpcDsSuite(1);
+  auto b = BuildTpcDsSuite(2);
+  int different = 0;
+  for (size_t q = 0; q < a.size(); ++q) {
+    if (a[q].num_stages() != b[q].num_stages() ||
+        a[q].MaxConcurrentTasks() != b[q].MaxConcurrentTasks()) {
+      ++different;
+    }
+  }
+  EXPECT_GT(different, 10);
+}
+
+TEST(TpcDsTest, CriticalPathsSpanTheTypeSpace) {
+  // The suite must produce short, medium, and long jobs against the paper's
+  // 173 s / 433 s thresholds so class selection exercises all rankings.
+  auto suite = BuildTpcDsSuite(1);
+  JobTypeThresholds thresholds;
+  int counts[3] = {0, 0, 0};
+  for (const auto& dag : suite) {
+    ++counts[static_cast<int>(thresholds.Categorize(dag.CriticalPathSeconds()))];
+  }
+  EXPECT_GT(counts[static_cast<int>(JobType::kShort)], 5);
+  EXPECT_GT(counts[static_cast<int>(JobType::kMedium)], 5);
+  EXPECT_GT(counts[static_cast<int>(JobType::kLong)], 5);
+}
+
+TEST(TpcDsTest, WidthsVaryAcrossQueries) {
+  auto suite = BuildTpcDsSuite(1);
+  int narrow = 0;
+  int wide = 0;
+  for (const auto& dag : suite) {
+    if (dag.MaxConcurrentTasks() <= 30) {
+      ++narrow;
+    }
+    if (dag.MaxConcurrentTasks() >= 200) {
+      ++wide;
+    }
+  }
+  EXPECT_GT(narrow, 3);
+  EXPECT_GT(wide, 3);
+}
+
+TEST(TpcDsTest, AllTasksUseOneCoreContainers) {
+  // The testbed's Hive containers are uniform; the simulator's fast-path
+  // pending-retry logic relies on a single container shape.
+  auto suite = BuildTpcDsSuite(3);
+  for (const auto& dag : suite) {
+    for (int s = 0; s < dag.num_stages(); ++s) {
+      EXPECT_EQ(dag.stage(s).per_task.cores, 1);
+      EXPECT_EQ(dag.stage(s).per_task.memory_mb, 2048);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harvest
