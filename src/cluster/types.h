@@ -40,7 +40,13 @@ struct Resources {
     memory_mb -= other.memory_mb;
     return *this;
   }
-  bool operator==(const Resources& other) const = default;
+  // Hand-written member-wise comparison (not `= default`): defaulted
+  // comparisons are a C++20 feature, and the library core must stay
+  // embeddable in downstream builds pinned at -std=c++17.
+  friend constexpr bool operator==(const Resources& a, const Resources& b) {
+    return a.cores == b.cores && a.memory_mb == b.memory_mb;
+  }
+  friend constexpr bool operator!=(const Resources& a, const Resources& b) { return !(a == b); }
 
   // True when this bundle can accommodate `request` in both dimensions.
   bool Fits(const Resources& request) const {

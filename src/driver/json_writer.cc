@@ -1,0 +1,159 @@
+#include "src/driver/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/logging.h"
+
+namespace harvest {
+
+void JsonWriter::Indent() {
+  out_.push_back('\n');
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::Prepare() {
+  if (stack_.empty()) {
+    HARVEST_CHECK(out_.empty()) << "only one top-level JSON value allowed";
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.is_object) {
+    // Inside an object a value may only follow Key(), which emitted the
+    // separator already.
+    HARVEST_CHECK(top.key_pending) << "JSON object member written without a key";
+    top.key_pending = false;
+    return;
+  }
+  if (top.members > 0) {
+    out_.push_back(',');
+  }
+  ++top.members;
+  Indent();
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  HARVEST_CHECK(!stack_.empty() && stack_.back().is_object)
+      << "JSON key outside of an object";
+  Frame& top = stack_.back();
+  HARVEST_CHECK(!top.key_pending) << "JSON key emitted twice";
+  if (top.members > 0) {
+    out_.push_back(',');
+  }
+  ++top.members;
+  Indent();
+  AppendEscaped(key);
+  out_.append(": ");
+  top.key_pending = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prepare();
+  out_.push_back('{');
+  stack_.push_back(Frame{true, 0, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  HARVEST_CHECK(!stack_.empty() && stack_.back().is_object && !stack_.back().key_pending)
+      << "unbalanced EndObject";
+  bool empty = stack_.back().members == 0;
+  stack_.pop_back();
+  if (!empty) {
+    Indent();
+  }
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prepare();
+  out_.push_back('[');
+  stack_.push_back(Frame{false, 0, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  HARVEST_CHECK(!stack_.empty() && !stack_.back().is_object) << "unbalanced EndArray";
+  bool empty = stack_.back().members == 0;
+  stack_.pop_back();
+  if (!empty) {
+    Indent();
+  }
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  Prepare();
+  AppendEscaped(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  AppendScalar(value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no NaN/Inf; null keeps the document parseable and the
+    // anomaly visible.
+    AppendScalar("null");
+    return *this;
+  }
+  char buffer[40];
+  // 12 significant digits: stable across compilers for the value ranges the
+  // experiments emit, and free of float noise in diffs.
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  AppendScalar(buffer);
+  return *this;
+}
+
+void JsonWriter::AppendScalar(std::string_view text) {
+  Prepare();
+  out_.append(text);
+}
+
+void JsonWriter::AppendEscaped(std::string_view text) {
+  out_.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out_.append("\\\"");
+        break;
+      case '\\':
+        out_.append("\\\\");
+        break;
+      case '\n':
+        out_.append("\\n");
+        break;
+      case '\t':
+        out_.append("\\t");
+        break;
+      case '\r':
+        out_.append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out_.append(buffer);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+std::string JsonWriter::TakeString() {
+  HARVEST_CHECK(stack_.empty()) << "JSON document has unclosed containers";
+  out_.push_back('\n');
+  std::string result = std::move(out_);
+  out_.clear();
+  return result;
+}
+
+}  // namespace harvest

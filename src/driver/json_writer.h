@@ -1,0 +1,73 @@
+// Deterministic JSON emission for driver results. The driver's contract is
+// that one (scenario, seed, scale) triple produces byte-identical output
+// across runs of the same build, so results can be diffed by CI perf
+// tracking; this writer therefore controls ordering (insertion order only),
+// number formatting (%.*g at fixed precision), and layout (two-space
+// indentation) itself instead of depending on a third-party serializer.
+// (Across *toolchains* the last digits can move: the pipeline's values flow
+// through libm transcendentals, which are not correctly rounded — bless
+// reference outputs per builder image, not globally.)
+
+#ifndef HARVEST_SRC_DRIVER_JSON_WRITER_H_
+#define HARVEST_SRC_DRIVER_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace harvest {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Emits the key of the next object member. Must be balanced with exactly
+  // one value / container per key.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) { return Value(std::string_view(value)); }
+  JsonWriter& Value(bool value);
+  JsonWriter& Value(double value);
+  template <typename T, typename = std::enable_if_t<std::is_integral_v<T> &&
+                                                    !std::is_same_v<T, bool>>>
+  JsonWriter& Value(T value) {
+    AppendScalar(std::to_string(value));
+    return *this;
+  }
+
+  // Key + value in one call.
+  template <typename T>
+  JsonWriter& Field(std::string_view key, T&& value) {
+    Key(key);
+    return Value(std::forward<T>(value));
+  }
+
+  // Finishes the document; all containers must be closed.
+  std::string TakeString();
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    int members = 0;
+    bool key_pending = false;
+  };
+
+  // Separator + indentation before a new value or key.
+  void Prepare();
+  void AppendScalar(std::string_view text);
+  void AppendEscaped(std::string_view text);
+  void Indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_DRIVER_JSON_WRITER_H_

@@ -1,0 +1,49 @@
+// The unified end-to-end pipeline behind harvest_sim: for every datacenter a
+// scenario names, build the fleet from the trace generators, run the daily
+// clustering service (FFT -> pattern split -> K-Means), co-simulate the
+// Algorithm-1 scheduler against a primary-aware baseline, audit Algorithm-2
+// replica placement, and run the durability / availability experiments --
+// emitting one deterministic JSON document for the whole run. Same
+// (scenario, seed, scale) => byte-identical output; each stage draws from an
+// independently derived RNG stream so stages can be toggled without
+// perturbing one another.
+
+#ifndef HARVEST_SRC_DRIVER_PIPELINE_H_
+#define HARVEST_SRC_DRIVER_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/driver/scenario.h"
+
+namespace harvest {
+
+struct ScenarioRunOptions {
+  uint64_t seed = 42;
+  // Extra size multiplier applied on top of the preset (see ScaledScenario).
+  double scale = 1.0;
+};
+
+// Headline numbers for CLI display; the full results live in the JSON.
+struct ScenarioSummary {
+  int datacenters = 0;
+  size_t servers = 0;
+  size_t tenants = 0;
+  int64_t jobs_completed = 0;
+  // Average over datacenters of the H-vs-baseline execution-time improvement.
+  double mean_scheduling_improvement_percent = 0.0;
+  // Worst (highest) block-loss percentage seen in any durability cell.
+  double worst_stock_lost_percent = 0.0;
+  double worst_history_lost_percent = 0.0;
+};
+
+struct ScenarioRunResult {
+  ScenarioSummary summary;
+  std::string json;
+};
+
+ScenarioRunResult RunScenario(const ScenarioConfig& config, const ScenarioRunOptions& options);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_DRIVER_PIPELINE_H_

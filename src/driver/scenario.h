@@ -1,0 +1,86 @@
+// Named end-to-end scenarios for the harvest_sim driver. A scenario fixes
+// every knob of the pipeline (fleet construction, clustering, Algorithm-1
+// scheduling, Algorithm-2 placement, durability / availability experiments)
+// so that a (scenario, seed, scale) triple fully determines the run and its
+// JSON output. Presets mirror the paper's evaluation setups: the 102-server
+// DC-9 testbed of §6.1, the ten-datacenter simulation sweep of §6.3-6.5, and
+// a correlated-reimaging storm stressing the durability threat of §4.2.
+
+#ifndef HARVEST_SRC_DRIVER_SCENARIO_H_
+#define HARVEST_SRC_DRIVER_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/utilization_clustering.h"
+#include "src/experiments/durability.h"
+#include "src/experiments/scheduling_sim.h"
+#include "src/trace/utilization_trace.h"
+
+namespace harvest {
+
+struct ScenarioConfig {
+  std::string name;
+  std::string description;
+
+  // --- Fleet construction (src/trace generators + src/cluster builders) ---
+  // When true the paper's 21-tenant DC-9 testbed mix is used and
+  // `datacenters` is ignored.
+  bool use_testbed = false;
+  int testbed_servers = 102;
+  std::vector<std::string> datacenters;
+  double fleet_scale = 1.0;
+  size_t trace_slots = kSlotsPerDay * 2;
+  int reimage_months = 12;
+  bool per_server_traces = true;
+  // Reimaging storm: overrides the profile's mass-event knobs so that most
+  // of a tenant's servers can be wiped within one 30-minute window.
+  bool reimage_storm = false;
+  double storm_monthly_prob = 0.5;
+  double storm_fraction = 0.9;
+
+  // --- Clustering service (src/signal FFT + src/core K-Means) ---
+  ClusteringOptions clustering;
+
+  // --- Algorithm-1 scheduling (src/scheduler via src/experiments) ---
+  bool run_scheduling = true;
+  double scheduling_horizon_seconds = 2.0 * 3600.0;
+  double mean_interarrival_seconds = 300.0;
+  double job_duration_factor = 1.0;
+  // Storage flavor co-simulated with the scheduler (kNone = compute only).
+  StorageVariant scheduling_storage = StorageVariant::kNone;
+  // When positive, the fleet's utilization is root-scaled to this average
+  // before the scheduling runs (the paper's §6.1 sweep methodology); history
+  // only differentiates itself once primaries are busy enough to matter.
+  double scheduling_target_utilization = 0.0;
+
+  // --- Algorithm-2 placement audit (src/storage) ---
+  int placement_sample_blocks = 500;
+
+  // --- Durability / availability experiments (src/experiments) ---
+  bool run_durability = true;
+  int64_t durability_blocks = 20000;
+  std::vector<int> replications = {3, 4};
+  bool run_availability = true;
+  int64_t availability_blocks = 10000;
+  int64_t availability_accesses = 50000;
+  std::vector<double> availability_utilizations = {0.30, 0.50};
+};
+
+// The built-in presets, in stable order.
+const std::vector<ScenarioConfig>& AllScenarios();
+
+// Looks a preset up by name; nullptr when unknown.
+const ScenarioConfig* FindScenario(std::string_view name);
+
+// Scales the scenario's size knobs (fleet, block and access counts) by
+// `scale`, clamped so tiny scales still produce a well-formed run. Horizons
+// and thresholds are left alone: a scaled run is a smaller fleet under the
+// same workload physics, suitable for smoke tests and CI.
+ScenarioConfig ScaledScenario(const ScenarioConfig& config, double scale);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_DRIVER_SCENARIO_H_

@@ -6,6 +6,15 @@
 namespace harvest {
 namespace {
 
+// Regression check for src/cluster/types.h: Resources comparisons are
+// hand-written (member-wise) rather than `= default`, so the cluster core
+// stays embeddable in downstream builds pinned at -std=c++17, and they are
+// constexpr so compile-time constants can be compared.
+static_assert(Resources{1, 2} == Resources{1, 2});
+static_assert(Resources{1, 2} != Resources{1, 3});
+static_assert(Resources{1, 2} != Resources{2, 2});
+static_assert(kDefaultServerCapacity == Resources{12, 32 * 1024});
+
 TEST(DatacenterTest, TenProfilesExist) {
   const auto& profiles = AllDatacenterProfiles();
   ASSERT_EQ(profiles.size(), static_cast<size_t>(kNumDatacenters));

@@ -1,0 +1,142 @@
+#include "src/driver/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "src/driver/json_writer.h"
+#include "src/driver/scenario.h"
+
+namespace harvest {
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndScalars) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("name", "dc");
+  json.Field("servers", 102);
+  json.Field("ratio", 0.5);
+  json.Field("flag", true);
+  json.Key("list").BeginArray().Value(1).Value(2).EndArray();
+  json.Key("empty").BeginObject().EndObject();
+  json.EndObject();
+  EXPECT_EQ(json.TakeString(),
+            "{\n"
+            "  \"name\": \"dc\",\n"
+            "  \"servers\": 102,\n"
+            "  \"ratio\": 0.5,\n"
+            "  \"flag\": true,\n"
+            "  \"list\": [\n"
+            "    1,\n"
+            "    2\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndRejectsNonFinite) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("text", "a\"b\\c\nd");
+  json.Field("bad", std::numeric_limits<double>::quiet_NaN());
+  json.EndObject();
+  std::string out = json.TakeString();
+  EXPECT_NE(out.find("\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  EXPECT_NE(out.find("\"bad\": null"), std::string::npos);
+}
+
+TEST(JsonWriterTest, DoubleFormattingIsStable) {
+  JsonWriter json;
+  json.BeginArray();
+  json.Value(1.0 / 3.0);
+  json.Value(1e-9);
+  json.Value(123456789.0);
+  json.EndArray();
+  EXPECT_EQ(json.TakeString(),
+            "[\n"
+            "  0.333333333333,\n"
+            "  1e-09,\n"
+            "  123456789\n"
+            "]\n");
+}
+
+TEST(ScenarioTest, PresetsExistWithUniqueNames) {
+  const auto& scenarios = AllScenarios();
+  ASSERT_GE(scenarios.size(), 3u);
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_FALSE(scenarios[i].name.empty());
+    EXPECT_FALSE(scenarios[i].description.empty());
+    for (size_t j = i + 1; j < scenarios.size(); ++j) {
+      EXPECT_NE(scenarios[i].name, scenarios[j].name);
+    }
+  }
+  EXPECT_NE(FindScenario("dc9_testbed"), nullptr);
+  EXPECT_NE(FindScenario("fleet_sweep"), nullptr);
+  EXPECT_NE(FindScenario("reimage_storm"), nullptr);
+  EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
+}
+
+TEST(ScenarioTest, ScalingClampsToWellFormedFloors) {
+  const ScenarioConfig* testbed = FindScenario("dc9_testbed");
+  ASSERT_NE(testbed, nullptr);
+  ScenarioConfig tiny = ScaledScenario(*testbed, 1e-6);
+  EXPECT_GE(tiny.testbed_servers, 42);
+  EXPECT_GE(tiny.durability_blocks, 1000);
+  EXPECT_GE(tiny.availability_blocks, 1000);
+  EXPECT_GE(tiny.availability_accesses, 5000);
+  EXPECT_GE(tiny.placement_sample_blocks, 100);
+
+  ScenarioConfig same = ScaledScenario(*testbed, 1.0);
+  EXPECT_EQ(same.testbed_servers, testbed->testbed_servers);
+  EXPECT_EQ(same.durability_blocks, testbed->durability_blocks);
+}
+
+// The driver's core contract: one (scenario, seed, scale) triple produces
+// byte-identical JSON across runs, so results can be diffed by CI.
+TEST(DriverPipelineTest, SameScenarioAndSeedProduceIdenticalJson) {
+  const ScenarioConfig* scenario = FindScenario("dc9_testbed");
+  ASSERT_NE(scenario, nullptr);
+  ScenarioRunOptions options;
+  options.seed = 42;
+  options.scale = 0.2;
+  ScenarioRunResult first = RunScenario(*scenario, options);
+  ScenarioRunResult second = RunScenario(*scenario, options);
+  EXPECT_EQ(first.json, second.json);
+  EXPECT_FALSE(first.json.empty());
+  // The run exercised every stage of the pipeline.
+  EXPECT_NE(first.json.find("\"clustering\""), std::string::npos);
+  EXPECT_NE(first.json.find("\"scheduling\""), std::string::npos);
+  EXPECT_NE(first.json.find("\"placement\""), std::string::npos);
+  EXPECT_NE(first.json.find("\"durability\""), std::string::npos);
+  EXPECT_NE(first.json.find("\"availability\""), std::string::npos);
+  EXPECT_GT(first.summary.jobs_completed, 0);
+}
+
+TEST(DriverPipelineTest, DifferentSeedsProduceDifferentJson) {
+  const ScenarioConfig* scenario = FindScenario("reimage_storm");
+  ASSERT_NE(scenario, nullptr);
+  ScenarioRunOptions options;
+  options.scale = 0.05;
+  options.seed = 1;
+  ScenarioRunResult first = RunScenario(*scenario, options);
+  options.seed = 2;
+  ScenarioRunResult second = RunScenario(*scenario, options);
+  EXPECT_NE(first.json, second.json);
+}
+
+// The paper's durability headline must survive the storm scenario: history-
+// based placement never loses more than stock under correlated reimaging.
+TEST(DriverPipelineTest, StormScenarioKeepsHistoryAtOrBelowStockLoss) {
+  const ScenarioConfig* scenario = FindScenario("reimage_storm");
+  ASSERT_NE(scenario, nullptr);
+  ScenarioRunOptions options;
+  options.seed = 7;
+  options.scale = 0.1;
+  ScenarioRunResult result = RunScenario(*scenario, options);
+  EXPECT_LE(result.summary.worst_history_lost_percent,
+            result.summary.worst_stock_lost_percent);
+}
+
+}  // namespace
+}  // namespace harvest
