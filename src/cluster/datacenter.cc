@@ -111,6 +111,12 @@ Cluster BuildCluster(const DatacenterProfile& profile, const BuildOptions& optio
   const int num_tenants =
       std::max(3, static_cast<int>(std::lround(profile.num_tenants * options.scale)));
 
+  std::vector<double> shape_weights;
+  shape_weights.reserve(options.server_shapes.size());
+  for (const ServerShape& shape : options.server_shapes) {
+    shape_weights.push_back(shape.weight);
+  }
+
   int next_rack = 0;
   for (int t = 0; t < num_tenants; ++t) {
     // Pattern assignment by tenant fraction (Fig 2).
@@ -155,7 +161,13 @@ Cluster BuildCluster(const DatacenterProfile& profile, const BuildOptions& optio
       Server server;
       server.tenant = tenant_id;
       server.rack = next_rack + s / profile.servers_per_rack;
-      server.capacity = kDefaultServerCapacity;
+      if (shape_weights.empty()) {
+        server.capacity = kDefaultServerCapacity;
+      } else {
+        int shape = rng.WeightedIndex(shape_weights);
+        HARVEST_CHECK(shape >= 0) << "server_shapes needs at least one positive weight";
+        server.capacity = options.server_shapes[static_cast<size_t>(shape)].capacity;
+      }
       if (options.per_server_traces) {
         server.utilization = std::make_shared<const UtilizationTrace>(PerturbTrace(
             cluster.tenant(tenant_id).average_utilization, profile.server_jitter, rng));

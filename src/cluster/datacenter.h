@@ -60,6 +60,13 @@ struct DatacenterProfile {
 const std::vector<DatacenterProfile>& AllDatacenterProfiles();
 const DatacenterProfile& DatacenterByName(const std::string& name);
 
+// One server SKU in a heterogeneous fleet: a capacity bundle plus the
+// relative frequency with which the builder assigns it.
+struct ServerShape {
+  Resources capacity = kDefaultServerCapacity;
+  double weight = 1.0;
+};
+
 // Options controlling trace materialization.
 struct BuildOptions {
   // Number of 2-minute slots per server trace (default: one month).
@@ -71,6 +78,10 @@ struct BuildOptions {
   // Whether to also generate per-server traces (costly for large fleets).
   // When false, servers reference the tenant's average trace.
   bool per_server_traces = true;
+  // SKU mix sampled per server by weight. Empty = every server is the
+  // homogeneous testbed shape (and no RNG is drawn for it, so enabling the
+  // mix in one scenario never shifts streams in another).
+  std::vector<ServerShape> server_shapes;
 };
 
 // Materializes a cluster from a profile. Deterministic given `rng` state.

@@ -72,6 +72,7 @@ class ClassSelector {
                         Rng& rng) const;
 
   const ClusteringSnapshot& snapshot() const { return *snapshot_; }
+  const RankingWeights& weights() const { return weights_; }
 
  private:
   const ClusteringSnapshot* snapshot_;

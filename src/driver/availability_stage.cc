@@ -1,0 +1,36 @@
+// AvailabilityStage: the Fig-16 sweep -- failed-access fraction of Stock vs
+// history-based placement as the fleet is root-scaled across target
+// utilizations.
+
+#include "src/driver/stage.h"
+#include "src/experiments/availability.h"
+#include "src/experiments/cluster_scaling.h"
+
+namespace harvest {
+
+AvailabilityStageResult RunAvailabilityStage(const DcContext& ctx, const Cluster& cluster) {
+  const ScenarioConfig& config = *ctx.config;
+  AvailabilityStageResult result;
+  for (double target : config.availability_utilizations) {
+    Cluster scaled = ScaleClusterUtilization(cluster, ScalingMethod::kRoot, target);
+    for (PlacementKind kind : {PlacementKind::kStock, PlacementKind::kHistory}) {
+      AvailabilityOptions options;
+      options.placement = kind;
+      options.replication = config.replications.empty() ? 3 : config.replications.front();
+      options.num_blocks = config.availability_blocks;
+      options.num_accesses = config.availability_accesses;
+      options.seed = ctx.StreamSeed("availability");
+      AvailabilityResult experiment = RunAvailabilityExperiment(scaled, options);
+      AvailabilityCellResult cell;
+      cell.target_utilization = target;
+      cell.placement = PlacementKindName(kind);
+      cell.average_utilization = experiment.average_utilization;
+      cell.accesses = experiment.accesses;
+      cell.failed_percent = experiment.failed_percent;
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace harvest

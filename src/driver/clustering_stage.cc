@@ -1,0 +1,48 @@
+// ClusteringStage: one daily run of the utilization-clustering service
+// (FFT -> pattern split -> K-Means) plus classifier accuracy against the
+// generators' ground truth.
+
+#include "src/core/utilization_clustering.h"
+#include "src/driver/stage.h"
+#include "src/signal/pattern.h"
+
+namespace harvest {
+
+ClusteringStageResult RunClusteringStage(const DcContext& ctx, const Cluster& cluster) {
+  Rng rng(ctx.StreamSeed("clustering"));
+  UtilizationClusteringService service(ctx.config->clustering);
+  ClusteringSnapshot snapshot = service.Run(cluster, rng);
+
+  ClusteringStageResult result;
+  result.classes.reserve(snapshot.classes.size());
+  for (const UtilizationClass& cls : snapshot.classes) {
+    ClusteringClassResult entry;
+    entry.label = cls.label;
+    entry.pattern = PatternName(cls.pattern);
+    entry.average_utilization = cls.average_utilization;
+    entry.peak_utilization = cls.peak_utilization;
+    entry.tenants = cls.tenants.size();
+    entry.servers = cls.servers.size();
+    entry.total_cores = cls.total_cores;
+    result.classes.push_back(std::move(entry));
+  }
+
+  std::vector<int> per_pattern = snapshot.TenantCountPerPattern();
+  for (int p = 0; p < kNumPatterns; ++p) {
+    result.tenants_per_pattern[static_cast<size_t>(p)] = per_pattern[static_cast<size_t>(p)];
+  }
+
+  int correct = 0;
+  for (size_t t = 0; t < cluster.num_tenants(); ++t) {
+    if (snapshot.tenant_pattern[t] == cluster.tenant(static_cast<TenantId>(t)).true_pattern) {
+      ++correct;
+    }
+  }
+  result.classifier_accuracy =
+      cluster.num_tenants() == 0
+          ? 1.0
+          : static_cast<double>(correct) / static_cast<double>(cluster.num_tenants());
+  return result;
+}
+
+}  // namespace harvest

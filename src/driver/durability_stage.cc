@@ -1,0 +1,38 @@
+// DurabilityStage: the Fig-15 experiment grid -- Stock vs history-based
+// placement at each configured replication factor over the scenario's
+// reimage horizon.
+
+#include "src/driver/stage.h"
+#include "src/experiments/durability.h"
+
+namespace harvest {
+
+DurabilityStageResult RunDurabilityStage(const DcContext& ctx, const Cluster& cluster) {
+  const ScenarioConfig& config = *ctx.config;
+  DurabilityStageResult result;
+  for (int replication : config.replications) {
+    for (PlacementKind kind : {PlacementKind::kStock, PlacementKind::kHistory}) {
+      DurabilityOptions options;
+      options.placement = kind;
+      options.replication = replication;
+      options.num_blocks = config.durability_blocks;
+      options.months = config.reimage_months;
+      // Same stream for both placements: identical reimage timelines make the
+      // Stock-vs-H comparison paired, like the paper's simulator.
+      options.seed = ctx.StreamSeed("durability");
+      DurabilityResult experiment = RunDurabilityExperiment(cluster, options);
+      DurabilityCellResult cell;
+      cell.placement = PlacementKindName(kind);
+      cell.replication = replication;
+      cell.blocks = config.durability_blocks;
+      cell.lost_percent = experiment.lost_percent;
+      cell.reimage_events = experiment.reimage_events;
+      cell.replicas_destroyed = experiment.stats.replicas_destroyed;
+      cell.rereplications_completed = experiment.stats.rereplications_completed;
+      result.cells.push_back(std::move(cell));
+    }
+  }
+  return result;
+}
+
+}  // namespace harvest

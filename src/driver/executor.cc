@@ -1,0 +1,43 @@
+#include "src/driver/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace harvest {
+
+int DefaultDriverThreads() {
+  unsigned int hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+void ParallelForIndex(int threads, int count, const std::function<void(int)>& fn) {
+  if (count <= 0) {
+    return;
+  }
+  if (threads <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<int> next{0};
+  auto worker = [&next, count, &fn] {
+    for (int i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  };
+  const int helpers = std::min(threads, count) - 1;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(helpers));
+  for (int t = 0; t < helpers; ++t) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread participates
+  for (std::thread& thread : pool) {
+    thread.join();
+  }
+}
+
+}  // namespace harvest

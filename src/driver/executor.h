@@ -1,0 +1,28 @@
+// Deterministic parallel execution of the driver's per-datacenter loop.
+//
+// The per-DC pipelines are embarrassingly parallel: every stage draws only
+// from streams derived from (scenario seed, dc index), and each task writes
+// only its own result slot. Work is therefore handed out by an atomic index
+// pull -- which worker runs which datacenter is scheduling noise that cannot
+// affect any result -- and the caller assembles results in DC order, so the
+// rendered JSON is byte-identical for any thread count.
+
+#ifndef HARVEST_SRC_DRIVER_EXECUTOR_H_
+#define HARVEST_SRC_DRIVER_EXECUTOR_H_
+
+#include <functional>
+
+namespace harvest {
+
+// std::thread::hardware_concurrency() clamped to at least 1.
+int DefaultDriverThreads();
+
+// Invokes fn(i) exactly once for every i in [0, count), on up to `threads`
+// worker threads (the calling thread is one of them). fn must confine its
+// writes to per-index state; it must not throw. threads <= 1 or count <= 1
+// degrades to a plain serial loop on the calling thread.
+void ParallelForIndex(int threads, int count, const std::function<void(int)>& fn);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_DRIVER_EXECUTOR_H_

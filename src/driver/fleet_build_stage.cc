@@ -1,0 +1,79 @@
+// FleetBuildStage: materialize one datacenter's fleet (servers, tenants,
+// traces, reimage schedules) from the scenario's trace-generator knobs.
+
+#include "src/cluster/datacenter.h"
+#include "src/driver/stage.h"
+#include "src/trace/reimage.h"
+
+namespace harvest {
+namespace {
+
+ReimageModelParams ApplyStorm(ReimageModelParams params, const ScenarioConfig& config) {
+  params.mass_event_monthly_prob = config.storm_monthly_prob;
+  params.mass_fraction = config.storm_fraction;
+  return params;
+}
+
+// The testbed builder materializes utilization but no reimage schedules (the
+// paper's 102-server testbed was not reimaged); durability / availability
+// scenarios need one, so the driver attaches DC-9-distributed schedules.
+void AttachReimageSchedules(Cluster& cluster, const ReimageModelParams& params, int months,
+                            Rng& rng) {
+  for (size_t t = 0; t < cluster.num_tenants(); ++t) {
+    PrimaryTenant& tenant = cluster.tenant(static_cast<TenantId>(t));
+    const int num_servers = static_cast<int>(tenant.servers.size());
+    if (num_servers == 0) {
+      continue;
+    }
+    TenantReimageProcess process(params, num_servers, rng);
+    tenant.reimage_rate = process.base_rate();
+    for (const ReimageEvent& event : process.GenerateEvents(months, rng)) {
+      ServerId server = tenant.servers[static_cast<size_t>(event.server_index)];
+      cluster.server(server).reimage_times.push_back(event.time_seconds);
+    }
+  }
+}
+
+Cluster BuildScenarioCluster(const DcContext& ctx) {
+  const ScenarioConfig& config = *ctx.config;
+  Rng rng(ctx.StreamSeed("build"));
+  if (config.use_testbed) {
+    Cluster cluster = BuildTestbedCluster(config.testbed_servers, config.trace_slots, rng);
+    ReimageModelParams params = DatacenterByName("DC-9").reimage;
+    if (config.reimage_storm) {
+      params = ApplyStorm(params, config);
+    }
+    AttachReimageSchedules(cluster, params, config.reimage_months, rng);
+    return cluster;
+  }
+  DatacenterProfile profile = DatacenterByName(ctx.label);
+  if (config.reimage_storm) {
+    profile.reimage = ApplyStorm(profile.reimage, config);
+  }
+  BuildOptions build;
+  build.trace_slots = config.trace_slots;
+  build.reimage_months = config.reimage_months;
+  build.scale = config.fleet_scale;
+  build.per_server_traces = config.per_server_traces;
+  build.server_shapes = config.server_shapes;
+  return BuildCluster(profile, build, rng);
+}
+
+}  // namespace
+
+FleetBuildOutput RunFleetBuildStage(const DcContext& ctx) {
+  FleetBuildOutput output;
+  output.cluster = BuildScenarioCluster(ctx);
+  output.stats.servers = output.cluster.num_servers();
+  output.stats.tenants = output.cluster.num_tenants();
+  output.stats.average_primary_utilization = output.cluster.AverageUtilization();
+  output.stats.harvestable_blocks = output.cluster.TotalHarvestableBlocks();
+  int64_t reimage_events = 0;
+  for (const Server& server : output.cluster.servers()) {
+    reimage_events += static_cast<int64_t>(server.reimage_times.size());
+  }
+  output.stats.reimage_events = reimage_events;
+  return output;
+}
+
+}  // namespace harvest

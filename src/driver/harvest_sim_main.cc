@@ -1,39 +1,66 @@
 // harvest_sim: unified end-to-end driver over the whole library. Composes
 // trace generation -> clustering (FFT / pattern / K-Means) -> Algorithm-1
 // scheduling -> Algorithm-2 replica placement -> durability / availability
-// experiments into one run selected by a named scenario, and writes
+// experiments into one run selected by a registered scenario, and writes
 // deterministic JSON results (same scenario + seed + scale => byte-identical
-// output, suitable for diffing in CI).
+// output for any --threads value, suitable for diffing in CI).
 //
 //   ./build/harvest_sim --scenario=dc9_testbed --seed=42 --out=results.json
+//   ./build/harvest_sim --scenario=fleet_sweep --set fleet_scale=0.2
+//       --set replications=3,4 --threads=4 --out=-
 //   ./build/harvest_sim --list
+//   ./build/harvest_sim --knobs
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/driver/pipeline.h"
+#include "src/driver/registry.h"
 #include "src/driver/scenario.h"
 
 namespace {
 
 void PrintUsage(std::FILE* stream) {
   std::fprintf(stream,
-               "usage: harvest_sim --scenario=NAME [--seed=N] [--scale=F] [--out=PATH]\n"
-               "       harvest_sim --list\n"
+               "usage: harvest_sim --scenario=NAME [--seed=N] [--scale=F] [--threads=N]\n"
+               "                   [--set KEY=VALUE]... [--out=PATH]\n"
+               "       harvest_sim --list | --list-names | --knobs\n"
                "\n"
-               "  --scenario=NAME  named scenario preset (see --list)\n"
+               "  --scenario=NAME  registered scenario preset (see --list)\n"
                "  --seed=N         RNG seed; same seed => identical JSON (default 42)\n"
                "  --scale=F        size multiplier on fleets/blocks/accesses (default 1.0)\n"
+               "  --threads=N      worker threads for the per-datacenter loop\n"
+               "                   (default: hardware concurrency; output is byte-identical\n"
+               "                   for any value)\n"
+               "  --set KEY=VALUE  override one scenario knob (repeatable; see --knobs)\n"
                "  --out=PATH       JSON output path, '-' for stdout (default results.json)\n"
-               "  --list           list available scenarios and exit\n");
+               "  --list           list registered scenarios and exit\n"
+               "  --list-names     list scenario names only, one per line (for scripts)\n"
+               "  --knobs          list the knobs --set accepts and exit\n");
 }
 
 void PrintScenarios() {
   std::printf("available scenarios:\n");
   for (const auto& scenario : harvest::AllScenarios()) {
     std::printf("\n  %s\n    %s\n", scenario.name.c_str(), scenario.description.c_str());
+  }
+}
+
+void PrintScenarioNames() {
+  for (const auto& scenario : harvest::AllScenarios()) {
+    std::printf("%s\n", scenario.name.c_str());
+  }
+}
+
+void PrintKnobs() {
+  std::printf("scenario knobs (--set KEY=VALUE, repeatable):\n\n");
+  for (const auto& knob : harvest::ScenarioKnobs()) {
+    std::printf("  %-30s %s\n  %30s   %s\n", knob.name, knob.syntax, "", knob.help);
   }
 }
 
@@ -67,11 +94,20 @@ int main(int argc, char** argv) {
   std::string scenario_name;
   std::string out_path = "results.json";
   harvest::ScenarioRunOptions options;
+  std::vector<std::string> overrides;
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (std::strcmp(argv[i], "--list") == 0) {
       PrintScenarios();
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--list-names") == 0) {
+      PrintScenarioNames();
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--knobs") == 0) {
+      PrintKnobs();
       return 0;
     }
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
@@ -82,18 +118,37 @@ int main(int argc, char** argv) {
       scenario_name = value;
     } else if (ParseOption(argc, argv, i, "--seed", value)) {
       char* end = nullptr;
+      errno = 0;
       options.seed = std::strtoull(value.c_str(), &end, 10);
-      if (value.empty() || end == nullptr || *end != '\0') {
+      // strtoull alone would wrap "-1" to 2^64-1 and clamp > 2^64-1 to
+      // ULLONG_MAX; require plain in-range digits.
+      if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
         std::fprintf(stderr, "harvest_sim: --seed must be a non-negative integer, got '%s'\n",
                      value.c_str());
         return 2;
       }
     } else if (ParseOption(argc, argv, i, "--scale", value)) {
-      options.scale = std::atof(value.c_str());
-      if (options.scale <= 0.0) {
-        std::fprintf(stderr, "harvest_sim: --scale must be positive\n");
+      char* end = nullptr;
+      options.scale = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          !std::isfinite(options.scale) || !(options.scale > 0.0)) {
+        std::fprintf(stderr, "harvest_sim: --scale must be a positive number, got '%s'\n",
+                     value.c_str());
         return 2;
       }
+    } else if (ParseOption(argc, argv, i, "--threads", value)) {
+      char* end = nullptr;
+      long threads = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() || threads < 1 ||
+          threads > 1024) {
+        std::fprintf(stderr, "harvest_sim: --threads must be an integer in [1, 1024], got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      options.threads = static_cast<int>(threads);
+    } else if (ParseOption(argc, argv, i, "--set", value)) {
+      overrides.push_back(value);
     } else if (ParseOption(argc, argv, i, "--out", value)) {
       out_path = value;
     } else {
@@ -114,9 +169,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::fprintf(stderr, "harvest_sim: scenario=%s seed=%llu scale=%g\n", scenario->name.c_str(),
-               static_cast<unsigned long long>(options.seed), options.scale);
-  harvest::ScenarioRunResult result = harvest::RunScenario(*scenario, options);
+  // Derive the run's config from the preset by applying --set overrides.
+  harvest::ScenarioConfig config = *scenario;
+  for (const std::string& override_text : overrides) {
+    std::string key;
+    std::string value;
+    std::string error;
+    if (!harvest::SplitOverride(override_text, &key, &value, &error) ||
+        !harvest::ApplyScenarioOverride(config, key, value, &error)) {
+      std::fprintf(stderr, "harvest_sim: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  options.overrides = overrides;
+  std::string config_error = harvest::ValidateScenario(config);
+  if (!config_error.empty()) {
+    std::fprintf(stderr, "harvest_sim: %s\n", config_error.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr, "harvest_sim: scenario=%s seed=%llu scale=%g overrides=%zu\n",
+               config.name.c_str(), static_cast<unsigned long long>(options.seed),
+               options.scale, overrides.size());
+  harvest::ScenarioRunResult result = harvest::RunScenario(config, options);
 
   if (out_path == "-") {
     std::fwrite(result.json.data(), 1, result.json.size(), stdout);

@@ -4,373 +4,112 @@
 #include <string>
 #include <vector>
 
-#include "src/cluster/datacenter.h"
-#include "src/core/placement_grid.h"
-#include "src/core/replica_placement.h"
-#include "src/core/utilization_clustering.h"
-#include "src/driver/json_writer.h"
-#include "src/experiments/availability.h"
-#include "src/experiments/cluster_scaling.h"
-#include "src/experiments/durability.h"
-#include "src/experiments/scheduling_sim.h"
+#include "src/driver/executor.h"
+#include "src/driver/registry.h"
+#include "src/driver/result_json.h"
 #include "src/jobs/tpcds.h"
-#include "src/signal/pattern.h"
-#include "src/storage/placement_quality.h"
-#include "src/trace/reimage.h"
-#include "src/util/rng.h"
+#include "src/util/logging.h"
 
 namespace harvest {
-namespace {
 
-// Independent 64-bit stream seed per (scenario seed, stage tag), so adding or
-// disabling one stage never shifts another stage's randomness.
-uint64_t StageSeed(uint64_t seed, const std::string& tag) {
-  uint64_t state = seed ^ StableHash(tag);
-  return SplitMix64(state);
+DatacenterResult RunDatacenterStages(const DcContext& ctx) {
+  DatacenterResult dc;
+  dc.name = ctx.label;
+  FleetBuildOutput fleet = RunFleetBuildStage(ctx);
+  dc.fleet = fleet.stats;
+  dc.clustering = RunClusteringStage(ctx, fleet.cluster);
+  if (ctx.config->run_scheduling) {
+    dc.has_scheduling = true;
+    dc.scheduling = RunSchedulingStage(ctx, fleet.cluster);
+  }
+  dc.placement = RunPlacementAuditStage(ctx, fleet.cluster);
+  if (ctx.config->run_durability) {
+    dc.has_durability = true;
+    dc.durability = RunDurabilityStage(ctx, fleet.cluster);
+  }
+  if (ctx.config->run_availability) {
+    dc.has_availability = true;
+    dc.availability = RunAvailabilityStage(ctx, fleet.cluster);
+  }
+  return dc;
 }
 
-ReimageModelParams ApplyStorm(ReimageModelParams params, const ScenarioConfig& config) {
-  params.mass_event_monthly_prob = config.storm_monthly_prob;
-  params.mass_fraction = config.storm_fraction;
-  return params;
-}
-
-// The testbed builder materializes utilization but no reimage schedules (the
-// paper's 102-server testbed was not reimaged); durability / availability
-// scenarios need one, so the driver attaches DC-9-distributed schedules.
-void AttachReimageSchedules(Cluster& cluster, const ReimageModelParams& params, int months,
-                            Rng& rng) {
-  for (size_t t = 0; t < cluster.num_tenants(); ++t) {
-    PrimaryTenant& tenant = cluster.tenant(static_cast<TenantId>(t));
-    const int num_servers = static_cast<int>(tenant.servers.size());
-    if (num_servers == 0) {
-      continue;
+ScenarioSummary SummarizeScenario(const ScenarioResult& result) {
+  ScenarioSummary summary;
+  double improvement_sum = 0.0;
+  int improvement_count = 0;
+  for (const DatacenterResult& dc : result.datacenters) {
+    ++summary.datacenters;
+    summary.servers += dc.fleet.servers;
+    summary.tenants += dc.fleet.tenants;
+    if (dc.has_scheduling) {
+      summary.jobs_completed +=
+          dc.scheduling.primary_aware.jobs_completed + dc.scheduling.history.jobs_completed;
+      improvement_sum += dc.scheduling.history_improvement_percent;
+      ++improvement_count;
     }
-    TenantReimageProcess process(params, num_servers, rng);
-    tenant.reimage_rate = process.base_rate();
-    for (const ReimageEvent& event : process.GenerateEvents(months, rng)) {
-      ServerId server = tenant.servers[static_cast<size_t>(event.server_index)];
-      cluster.server(server).reimage_times.push_back(event.time_seconds);
-    }
-  }
-}
-
-Cluster BuildScenarioCluster(const ScenarioConfig& config, const std::string& label,
-                             uint64_t seed) {
-  Rng rng(StageSeed(seed, "build/" + label));
-  if (config.use_testbed) {
-    Cluster cluster = BuildTestbedCluster(config.testbed_servers, config.trace_slots, rng);
-    ReimageModelParams params = DatacenterByName("DC-9").reimage;
-    if (config.reimage_storm) {
-      params = ApplyStorm(params, config);
-    }
-    AttachReimageSchedules(cluster, params, config.reimage_months, rng);
-    return cluster;
-  }
-  DatacenterProfile profile = DatacenterByName(label);
-  if (config.reimage_storm) {
-    profile.reimage = ApplyStorm(profile.reimage, config);
-  }
-  BuildOptions build;
-  build.trace_slots = config.trace_slots;
-  build.reimage_months = config.reimage_months;
-  build.scale = config.fleet_scale;
-  build.per_server_traces = config.per_server_traces;
-  return BuildCluster(profile, build, rng);
-}
-
-void WriteFleet(JsonWriter& json, const Cluster& cluster) {
-  json.Key("fleet").BeginObject();
-  json.Field("servers", cluster.num_servers());
-  json.Field("tenants", cluster.num_tenants());
-  json.Field("average_primary_utilization", cluster.AverageUtilization());
-  json.Field("harvestable_blocks", cluster.TotalHarvestableBlocks());
-  int64_t reimage_events = 0;
-  for (const Server& server : cluster.servers()) {
-    reimage_events += static_cast<int64_t>(server.reimage_times.size());
-  }
-  json.Field("reimage_events", reimage_events);
-  json.EndObject();
-}
-
-ClusteringSnapshot WriteClustering(JsonWriter& json, const ScenarioConfig& config,
-                                   const Cluster& cluster, const std::string& label,
-                                   uint64_t seed) {
-  Rng rng(StageSeed(seed, "clustering/" + label));
-  UtilizationClusteringService service(config.clustering);
-  ClusteringSnapshot snapshot = service.Run(cluster, rng);
-
-  json.Key("clustering").BeginObject();
-  json.Key("classes").BeginArray();
-  for (const UtilizationClass& cls : snapshot.classes) {
-    json.BeginObject();
-    json.Field("label", cls.label);
-    json.Field("pattern", PatternName(cls.pattern));
-    json.Field("average_utilization", cls.average_utilization);
-    json.Field("peak_utilization", cls.peak_utilization);
-    json.Field("tenants", cls.tenants.size());
-    json.Field("servers", cls.servers.size());
-    json.Field("total_cores", cls.total_cores);
-    json.EndObject();
-  }
-  json.EndArray();
-
-  json.Key("tenants_per_pattern").BeginObject();
-  std::vector<int> per_pattern = snapshot.TenantCountPerPattern();
-  for (int p = 0; p < kNumPatterns; ++p) {
-    json.Field(PatternName(static_cast<UtilizationPattern>(p)), per_pattern[static_cast<size_t>(p)]);
-  }
-  json.EndObject();
-
-  // Classifier accuracy against the generators' ground-truth patterns.
-  int correct = 0;
-  for (size_t t = 0; t < cluster.num_tenants(); ++t) {
-    if (snapshot.tenant_pattern[t] == cluster.tenant(static_cast<TenantId>(t)).true_pattern) {
-      ++correct;
-    }
-  }
-  json.Field("classifier_accuracy",
-             cluster.num_tenants() == 0
-                 ? 1.0
-                 : static_cast<double>(correct) / static_cast<double>(cluster.num_tenants()));
-  json.EndObject();
-  return snapshot;
-}
-
-void WriteSchedulingRun(JsonWriter& json, const char* key, const SchedulingSimResult& result) {
-  json.Key(key).BeginObject();
-  json.Field("jobs_arrived", result.jobs_arrived);
-  json.Field("jobs_completed", result.jobs_completed);
-  json.Field("average_execution_seconds", result.average_execution_seconds);
-  json.Field("total_kills", result.total_kills);
-  json.Field("average_total_utilization", result.average_total_utilization);
-  json.Field("average_primary_utilization", result.average_primary_utilization);
-  if (result.storage.accesses > 0) {
-    json.Field("failed_access_fraction", result.storage.FailedAccessFraction());
-  }
-  json.EndObject();
-}
-
-void RunScheduling(JsonWriter& json, const ScenarioConfig& config, const Cluster& cluster,
-                   const std::vector<JobDag>& suite, const std::string& label, uint64_t seed,
-                   ScenarioSummary& summary, std::vector<double>& improvements) {
-  const Cluster* sim_cluster = &cluster;
-  Cluster rescaled;
-  if (config.scheduling_target_utilization > 0.0) {
-    rescaled = ScaleClusterUtilization(cluster, ScalingMethod::kRoot,
-                                       config.scheduling_target_utilization);
-    sim_cluster = &rescaled;
-  }
-
-  SchedulingSimOptions options;
-  options.storage = config.scheduling_storage;
-  options.horizon_seconds = config.scheduling_horizon_seconds;
-  options.mean_interarrival_seconds = config.mean_interarrival_seconds;
-  options.job_duration_factor = config.job_duration_factor;
-  options.thresholds.short_below *= config.job_duration_factor;
-  options.thresholds.long_above *= config.job_duration_factor;
-  options.seed = StageSeed(seed, "scheduling/" + label);
-
-  options.mode = SchedulerMode::kPrimaryAware;
-  SchedulingSimResult baseline = RunSchedulingSimulation(*sim_cluster, suite, options);
-  options.mode = SchedulerMode::kHistory;
-  SchedulingSimResult history = RunSchedulingSimulation(*sim_cluster, suite, options);
-
-  json.Key("scheduling").BeginObject();
-  json.Field("horizon_seconds", options.horizon_seconds);
-  json.Field("mean_interarrival_seconds", options.mean_interarrival_seconds);
-  json.Field("target_utilization", config.scheduling_target_utilization);
-  json.Field("storage_variant", StorageVariantName(config.scheduling_storage));
-  WriteSchedulingRun(json, "primary_aware", baseline);
-  WriteSchedulingRun(json, "history", history);
-  double improvement =
-      baseline.average_execution_seconds > 0.0
-          ? 100.0 *
-                (baseline.average_execution_seconds - history.average_execution_seconds) /
-                baseline.average_execution_seconds
-          : 0.0;
-  json.Field("history_improvement_percent", improvement);
-  json.EndObject();
-
-  summary.jobs_completed += baseline.jobs_completed + history.jobs_completed;
-  improvements.push_back(improvement);
-}
-
-void RunPlacementAudit(JsonWriter& json, const ScenarioConfig& config, const Cluster& cluster,
-                       const PlacementGrid& grid, const std::string& label, uint64_t seed) {
-  Rng rng(StageSeed(seed, "placement/" + label));
-  ReplicaPlacer placer(&cluster, &grid);
-  PlacementQualityMonitor monitor(&cluster, &grid);
-
-  const int replication = config.replications.empty() ? 3 : config.replications.front();
-  const auto always_space = [](ServerId) { return true; };
-  int64_t placed = 0;
-  int64_t partial = 0;
-  int64_t environment_violations = 0;
-  double score_sum = 0.0;
-  double min_score = 1.0;
-  for (int i = 0; i < config.placement_sample_blocks; ++i) {
-    ServerId writer =
-        static_cast<ServerId>(rng.NextBounded(static_cast<uint64_t>(cluster.num_servers())));
-    std::vector<ServerId> replicas = placer.Place(writer, replication, always_space, rng);
-    if (static_cast<int>(replicas.size()) < replication) {
-      ++partial;
-    }
-    if (replicas.empty()) {
-      continue;
-    }
-    ++placed;
-    BlockPlacementQuality quality = monitor.ScoreBlock(replicas);
-    score_sum += quality.Score();
-    min_score = std::min(min_score, quality.Score());
-    if (quality.environment_diversity < 1.0) {
-      ++environment_violations;
-    }
-  }
-
-  json.Key("placement").BeginObject();
-  json.Field("replication", replication);
-  json.Field("sampled_blocks", config.placement_sample_blocks);
-  json.Field("grid_balance_ratio", grid.BalanceRatio());
-  json.Field("grid_total_blocks", grid.total_blocks());
-  json.Field("partial_placements", partial);
-  json.Field("mean_quality_score", placed > 0 ? score_sum / static_cast<double>(placed) : 0.0);
-  json.Field("min_quality_score", placed > 0 ? min_score : 0.0);
-  json.Field("environment_violation_fraction",
-             placed > 0 ? static_cast<double>(environment_violations) /
-                              static_cast<double>(placed)
-                        : 0.0);
-  json.EndObject();
-}
-
-void RunDurability(JsonWriter& json, const ScenarioConfig& config, const Cluster& cluster,
-                   const std::string& label, uint64_t seed, ScenarioSummary& summary) {
-  json.Key("durability").BeginArray();
-  for (int replication : config.replications) {
-    for (PlacementKind kind : {PlacementKind::kStock, PlacementKind::kHistory}) {
-      DurabilityOptions options;
-      options.placement = kind;
-      options.replication = replication;
-      options.num_blocks = config.durability_blocks;
-      options.months = config.reimage_months;
-      // Same stream for both placements: identical reimage timelines make the
-      // Stock-vs-H comparison paired, like the paper's simulator.
-      options.seed = StageSeed(seed, "durability/" + label);
-      DurabilityResult result = RunDurabilityExperiment(cluster, options);
-      json.BeginObject();
-      json.Field("placement", PlacementKindName(kind));
-      json.Field("replication", replication);
-      json.Field("blocks", config.durability_blocks);
-      json.Field("lost_percent", result.lost_percent);
-      json.Field("reimage_events", result.reimage_events);
-      json.Field("replicas_destroyed", result.stats.replicas_destroyed);
-      json.Field("rereplications_completed", result.stats.rereplications_completed);
-      json.EndObject();
-      if (kind == PlacementKind::kStock) {
+    for (const DurabilityCellResult& cell : dc.durability.cells) {
+      if (cell.placement == PlacementKindName(PlacementKind::kStock)) {
         summary.worst_stock_lost_percent =
-            std::max(summary.worst_stock_lost_percent, result.lost_percent);
-      } else {
+            std::max(summary.worst_stock_lost_percent, cell.lost_percent);
+      } else if (cell.placement == PlacementKindName(PlacementKind::kHistory)) {
         summary.worst_history_lost_percent =
-            std::max(summary.worst_history_lost_percent, result.lost_percent);
+            std::max(summary.worst_history_lost_percent, cell.lost_percent);
       }
     }
   }
-  json.EndArray();
+  if (improvement_count > 0) {
+    summary.mean_scheduling_improvement_percent =
+        improvement_sum / static_cast<double>(improvement_count);
+  }
+  return summary;
 }
-
-void RunAvailability(JsonWriter& json, const ScenarioConfig& config, const Cluster& cluster,
-                     const std::string& label, uint64_t seed) {
-  json.Key("availability").BeginArray();
-  for (double target : config.availability_utilizations) {
-    Cluster scaled = ScaleClusterUtilization(cluster, ScalingMethod::kRoot, target);
-    for (PlacementKind kind : {PlacementKind::kStock, PlacementKind::kHistory}) {
-      AvailabilityOptions options;
-      options.placement = kind;
-      options.replication = config.replications.empty() ? 3 : config.replications.front();
-      options.num_blocks = config.availability_blocks;
-      options.num_accesses = config.availability_accesses;
-      options.seed = StageSeed(seed, "availability/" + label);
-      AvailabilityResult result = RunAvailabilityExperiment(scaled, options);
-      json.BeginObject();
-      json.Field("target_utilization", target);
-      json.Field("placement", PlacementKindName(kind));
-      json.Field("average_utilization", result.average_utilization);
-      json.Field("accesses", result.accesses);
-      json.Field("failed_percent", result.failed_percent);
-      json.EndObject();
-    }
-  }
-  json.EndArray();
-}
-
-void RunDatacenter(JsonWriter& json, const ScenarioConfig& config,
-                   const std::vector<JobDag>& suite, const std::string& label, uint64_t seed,
-                   ScenarioSummary& summary, std::vector<double>& improvements) {
-  Cluster cluster = BuildScenarioCluster(config, label, seed);
-  summary.servers += cluster.num_servers();
-  summary.tenants += cluster.num_tenants();
-  ++summary.datacenters;
-
-  json.BeginObject();
-  json.Field("name", label);
-  WriteFleet(json, cluster);
-  WriteClustering(json, config, cluster, label, seed);
-  if (config.run_scheduling) {
-    RunScheduling(json, config, cluster, suite, label, seed, summary, improvements);
-  }
-  PlacementGrid grid = PlacementGrid::Build(CollectPlacementStats(cluster));
-  RunPlacementAudit(json, config, cluster, grid, label, seed);
-  if (config.run_durability) {
-    RunDurability(json, config, cluster, label, seed, summary);
-  }
-  if (config.run_availability) {
-    RunAvailability(json, config, cluster, label, seed);
-  }
-  json.EndObject();
-}
-
-}  // namespace
 
 ScenarioRunResult RunScenario(const ScenarioConfig& base_config,
                               const ScenarioRunOptions& options) {
+  // harvest_sim surfaces this as a usage error before calling; library
+  // callers who assemble configs by hand fail loudly instead of silently
+  // dropping knobs (e.g. server_shapes on a testbed) or running zero DCs.
+  const std::string config_error = ValidateScenario(base_config);
+  HARVEST_CHECK(config_error.empty()) << config_error;
   const ScenarioConfig config = ScaledScenario(base_config, options.scale);
 
-  ScenarioRunResult result;
-  std::vector<double> improvements;
   // The suite seed is label-independent by design: every datacenter runs the
-  // same 52 queries, so build them once.
+  // same 52 queries, so build them once and share them read-only.
   const std::vector<JobDag> suite =
-      config.run_scheduling ? BuildTpcDsSuite(StageSeed(options.seed, "suite"))
+      config.run_scheduling ? BuildTpcDsSuite(DerivedStreamSeed(options.seed, "suite"))
                             : std::vector<JobDag>{};
-  JsonWriter json;
-  json.BeginObject();
-  json.Field("schema_version", 1);
-  json.Field("scenario", config.name);
-  json.Field("description", config.description);
-  json.Field("seed", options.seed);
-  json.Field("scale", options.scale);
-  json.Key("datacenters").BeginArray();
-  if (config.use_testbed) {
-    RunDatacenter(json, config, suite, "DC-9-testbed", options.seed, result.summary,
-                  improvements);
-  } else {
-    for (const std::string& name : config.datacenters) {
-      RunDatacenter(json, config, suite, name, options.seed, result.summary, improvements);
-    }
-  }
-  json.EndArray();
-  json.EndObject();
 
-  if (!improvements.empty()) {
-    double sum = 0.0;
-    for (double v : improvements) {
-      sum += v;
-    }
-    result.summary.mean_scheduling_improvement_percent =
-        sum / static_cast<double>(improvements.size());
+  std::vector<std::string> labels;
+  if (config.use_testbed) {
+    labels.push_back("DC-9-testbed");
+  } else {
+    labels = config.datacenters;
   }
-  result.json = json.TakeString();
-  return result;
+
+  ScenarioRunResult run;
+  run.result.scenario = config.name;
+  run.result.description = config.description;
+  run.result.seed = options.seed;
+  run.result.scale = options.scale;
+  run.result.overrides = options.overrides;
+  run.result.datacenters.resize(labels.size());
+
+  const int threads = options.threads > 0 ? options.threads : DefaultDriverThreads();
+  ScenarioResult& result = run.result;
+  ParallelForIndex(threads, static_cast<int>(labels.size()), [&](int i) {
+    DcContext ctx;
+    ctx.config = &config;
+    ctx.label = labels[static_cast<size_t>(i)];
+    ctx.dc_index = i;
+    ctx.dc_seed = DeriveDcSeed(options.seed, i);
+    ctx.suite = &suite;
+    result.datacenters[static_cast<size_t>(i)] = RunDatacenterStages(ctx);
+  });
+
+  run.summary = SummarizeScenario(run.result);
+  run.json = RenderScenarioJson(run.result);
+  return run;
 }
 
 }  // namespace harvest

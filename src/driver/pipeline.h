@@ -1,20 +1,24 @@
-// The unified end-to-end pipeline behind harvest_sim: for every datacenter a
-// scenario names, build the fleet from the trace generators, run the daily
-// clustering service (FFT -> pattern split -> K-Means), co-simulate the
-// Algorithm-1 scheduler against a primary-aware baseline, audit Algorithm-2
-// replica placement, and run the durability / availability experiments --
-// emitting one deterministic JSON document for the whole run. Same
-// (scenario, seed, scale) => byte-identical output; each stage draws from an
-// independently derived RNG stream so stages can be toggled without
-// perturbing one another.
+// The orchestrator behind harvest_sim: for every datacenter a scenario
+// names, run the composable stage sequence of src/driver/stage.h
+// (fleet build -> clustering -> Algorithm-1 scheduling -> Algorithm-2
+// placement audit -> durability -> availability) and assemble the typed
+// per-DC results, in DC order, into one ScenarioResult plus its rendered
+// JSON document.
+//
+// Datacenters run on a thread pool (src/driver/executor.h). Determinism
+// contract: same (scenario, seed, scale) => byte-identical JSON for ANY
+// --threads value, because every stage draws from a stream derived from
+// (seed, dc index, stage tag) alone and results are assembled by index.
 
 #ifndef HARVEST_SRC_DRIVER_PIPELINE_H_
 #define HARVEST_SRC_DRIVER_PIPELINE_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/driver/scenario.h"
+#include "src/driver/stage.h"
 
 namespace harvest {
 
@@ -22,9 +26,15 @@ struct ScenarioRunOptions {
   uint64_t seed = 42;
   // Extra size multiplier applied on top of the preset (see ScaledScenario).
   double scale = 1.0;
+  // Worker threads for the per-DC loop; 0 = DefaultDriverThreads().
+  int threads = 0;
+  // `--set key=value` strings already applied to the config by the caller;
+  // recorded verbatim in the JSON for provenance.
+  std::vector<std::string> overrides;
 };
 
-// Headline numbers for CLI display; the full results live in the JSON.
+// Headline numbers for CLI display; the full results live in the typed
+// ScenarioResult (and its JSON rendering).
 struct ScenarioSummary {
   int datacenters = 0;
   size_t servers = 0;
@@ -39,8 +49,12 @@ struct ScenarioSummary {
 
 struct ScenarioRunResult {
   ScenarioSummary summary;
-  std::string json;
+  ScenarioResult result;  // typed stage results, per datacenter
+  std::string json;       // RenderScenarioJson(result)
 };
+
+// Computed from the typed results; exposed for tests.
+ScenarioSummary SummarizeScenario(const ScenarioResult& result);
 
 ScenarioRunResult RunScenario(const ScenarioConfig& config, const ScenarioRunOptions& options);
 

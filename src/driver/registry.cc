@@ -1,0 +1,462 @@
+#include "src/driver/registry.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/cluster/datacenter.h"
+#include "src/util/logging.h"
+
+namespace harvest {
+
+bool ScenarioRegistry::Register(ScenarioConfig config, std::string* error) {
+  if (config.name.empty()) {
+    if (error != nullptr) {
+      *error = "scenario name must not be empty";
+    }
+    return false;
+  }
+  if (Find(config.name) != nullptr) {
+    if (error != nullptr) {
+      *error = "scenario '" + config.name + "' is already registered";
+    }
+    return false;
+  }
+  scenarios_.push_back(std::move(config));
+  return true;
+}
+
+const ScenarioConfig* ScenarioRegistry::Find(std::string_view name) const {
+  for (const auto& scenario : scenarios_) {
+    if (scenario.name == name) {
+      return &scenario;
+    }
+  }
+  return nullptr;
+}
+
+ScenarioRegistry& BuiltinScenarios() {
+  static ScenarioRegistry* registry = [] {
+    auto* r = new ScenarioRegistry;
+    for (ScenarioConfig& config : BuiltinScenarioList()) {
+      std::string error;
+      bool ok = r->Register(std::move(config), &error);
+      HARVEST_CHECK(ok) << "builtin scenario registration failed: " << error;
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+const std::vector<ScenarioConfig>& AllScenarios() { return BuiltinScenarios().scenarios(); }
+
+const ScenarioConfig* FindScenario(std::string_view name) {
+  return BuiltinScenarios().Find(name);
+}
+
+// --- Knob table -----------------------------------------------------------
+
+namespace {
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) {
+    *error = std::move(message);
+  }
+  return false;
+}
+
+bool ParseBool(std::string_view text, bool* out, std::string* error) {
+  if (text == "true" || text == "1" || text == "on") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "off") {
+    *out = false;
+    return true;
+  }
+  return Fail(error, "expected a boolean (true/false/1/0/on/off), got '" +
+                         std::string(text) + "'");
+}
+
+bool ParseDouble(std::string_view text, double* out, std::string* error) {
+  std::string buffer(text);
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (buffer.empty() || end != buffer.c_str() + buffer.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return Fail(error, "expected a finite number, got '" + buffer + "'");
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out, std::string* error) {
+  std::string buffer(text);
+  char* end = nullptr;
+  errno = 0;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (buffer.empty() || end != buffer.c_str() + buffer.size() || errno == ERANGE) {
+    return Fail(error, "expected an integer (in range), got '" + buffer + "'");
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+// Shared by the member-pointer knob factories and the nested-member knobs
+// (clustering.*), so every integer knob gets the same range discipline.
+bool ParsePositiveInt(std::string_view text, int64_t max_value, int64_t* out,
+                      std::string* error) {
+  if (!ParseInt64(text, out, error)) {
+    return false;
+  }
+  if (*out <= 0 || *out > max_value) {
+    return Fail(error, "value must be a positive integer <= " + std::to_string(max_value));
+  }
+  return true;
+}
+
+bool ParseNonNegativeDouble(std::string_view text, double* out, std::string* error) {
+  if (!ParseDouble(text, out, error)) {
+    return false;
+  }
+  if (*out < 0.0) {
+    return Fail(error, "value must be >= 0");
+  }
+  return true;
+}
+
+std::vector<std::string_view> SplitList(std::string_view text) {
+  std::vector<std::string_view> items;
+  while (!text.empty()) {
+    size_t comma = text.find(',');
+    items.push_back(text.substr(0, comma));
+    if (comma == std::string_view::npos) {
+      break;
+    }
+    text.remove_prefix(comma + 1);
+  }
+  return items;
+}
+
+// "12x32768@0.5" -> {cores 12, memory 32768 MB, weight 0.5}.
+bool ParseShape(std::string_view text, ServerShape* out, std::string* error) {
+  size_t x = text.find('x');
+  size_t at = text.find('@');
+  if (x == std::string_view::npos || at == std::string_view::npos || at < x) {
+    return Fail(error, "expected CORESxMEMORY_MB@WEIGHT, got '" + std::string(text) + "'");
+  }
+  int64_t cores = 0;
+  int64_t memory = 0;
+  double weight = 0.0;
+  if (!ParseInt64(text.substr(0, x), &cores, error) ||
+      !ParseInt64(text.substr(x + 1, at - x - 1), &memory, error) ||
+      !ParseDouble(text.substr(at + 1), &weight, error)) {
+    return false;
+  }
+  if (cores <= 0 || memory <= 0 || weight <= 0.0) {
+    return Fail(error, "server shape fields must be positive in '" + std::string(text) + "'");
+  }
+  out->capacity = Resources{static_cast<int>(cores), static_cast<int>(memory)};
+  out->weight = weight;
+  return true;
+}
+
+// Edit distance for "did you mean" suggestions on unknown keys.
+size_t EditDistance(std::string_view a, std::string_view b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                              diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diagonal = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+using Apply = std::function<bool(ScenarioConfig&, std::string_view, std::string*)>;
+
+Apply BoolKnob(bool ScenarioConfig::* field) {
+  return [field](ScenarioConfig& config, std::string_view value, std::string* error) {
+    return ParseBool(value, &(config.*field), error);
+  };
+}
+
+Apply PositiveDoubleKnob(double ScenarioConfig::* field) {
+  return [field](ScenarioConfig& config, std::string_view value, std::string* error) {
+    double parsed = 0.0;
+    if (!ParseDouble(value, &parsed, error)) {
+      return false;
+    }
+    if (parsed <= 0.0) {
+      return Fail(error, "value must be > 0");
+    }
+    config.*field = parsed;
+    return true;
+  };
+}
+
+Apply FractionKnob(double ScenarioConfig::* field) {
+  return [field](ScenarioConfig& config, std::string_view value, std::string* error) {
+    double parsed = 0.0;
+    if (!ParseDouble(value, &parsed, error)) {
+      return false;
+    }
+    if (parsed < 0.0 || parsed > 1.0) {
+      return Fail(error, "value must be in [0, 1]");
+    }
+    config.*field = parsed;
+    return true;
+  };
+}
+
+template <typename Int>
+Apply PositiveIntKnob(Int ScenarioConfig::* field) {
+  // Cap at what the target field type holds (and a generous absolute bound
+  // for the 64-bit count fields) so values never truncate or wrap silently.
+  constexpr int64_t kCountCap = int64_t{1} << 40;
+  constexpr int64_t kMax = sizeof(Int) < 8
+                               ? static_cast<int64_t>(std::numeric_limits<Int>::max())
+                               : kCountCap;
+  return [field](ScenarioConfig& config, std::string_view value, std::string* error) {
+    int64_t parsed = 0;
+    if (!ParsePositiveInt(value, kMax, &parsed, error)) {
+      return false;
+    }
+    config.*field = static_cast<Int>(parsed);
+    return true;
+  };
+}
+
+std::vector<ScenarioKnob> MakeKnobs() {
+  std::vector<ScenarioKnob> knobs;
+  auto add = [&knobs](const char* name, const char* syntax, const char* help, Apply apply) {
+    knobs.push_back(ScenarioKnob{name, syntax, help, std::move(apply)});
+  };
+
+  add("use_testbed", "bool", "run the 21-tenant DC-9 testbed instead of `datacenters`",
+      BoolKnob(&ScenarioConfig::use_testbed));
+  add("testbed_servers", "int > 0", "testbed fleet size",
+      PositiveIntKnob(&ScenarioConfig::testbed_servers));
+  add("datacenters", "comma list of DC-0..DC-9",
+      "datacenter profiles to run, e.g. DC-1,DC-4",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        std::vector<std::string> names;
+        for (std::string_view item : SplitList(value)) {
+          std::string name(item);
+          bool known = false;
+          for (const auto& profile : AllDatacenterProfiles()) {
+            known = known || profile.name == name;
+          }
+          if (name.empty() || !known) {
+            return Fail(error, "unknown datacenter '" + name + "' (expected DC-0..DC-9)");
+          }
+          names.push_back(std::move(name));
+        }
+        if (names.empty()) {
+          return Fail(error, "datacenter list must not be empty");
+        }
+        config.datacenters = std::move(names);
+        return true;
+      });
+  add("fleet_scale", "double > 0", "tenant-count multiplier for profile fleets",
+      PositiveDoubleKnob(&ScenarioConfig::fleet_scale));
+  add("trace_slots", "int > 0", "2-minute telemetry slots per trace (720 = one day)",
+      PositiveIntKnob(&ScenarioConfig::trace_slots));
+  add("reimage_months", "int > 0", "months of reimage events to generate",
+      PositiveIntKnob(&ScenarioConfig::reimage_months));
+  add("per_server_traces", "bool", "materialize per-server (vs shared per-tenant) traces",
+      BoolKnob(&ScenarioConfig::per_server_traces));
+  add("reimage_storm", "bool", "boost correlated mass-reimage events",
+      BoolKnob(&ScenarioConfig::reimage_storm));
+  add("storm_monthly_prob", "double in [0, 1]", "monthly mass-event probability per tenant",
+      FractionKnob(&ScenarioConfig::storm_monthly_prob));
+  add("storm_fraction", "double in [0, 1]", "fraction of a tenant's servers wiped per event",
+      FractionKnob(&ScenarioConfig::storm_fraction));
+  add("server_shapes", "list of CORESxMEMORY_MB@WEIGHT",
+      "heterogeneous SKU mix, e.g. 12x32768@0.6,24x65536@0.4 (empty default = homogeneous)",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        std::vector<ServerShape> shapes;
+        for (std::string_view item : SplitList(value)) {
+          ServerShape shape;
+          if (!ParseShape(item, &shape, error)) {
+            return false;
+          }
+          shapes.push_back(shape);
+        }
+        if (shapes.empty()) {
+          return Fail(error, "server shape list must not be empty");
+        }
+        config.server_shapes = std::move(shapes);
+        return true;
+      });
+  add("max_classes_per_pattern", "int > 0", "K-Means cap per behavior pattern",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        int64_t parsed = 0;
+        if (!ParsePositiveInt(value, std::numeric_limits<int>::max(), &parsed, error)) {
+          return false;
+        }
+        config.clustering.max_classes_per_pattern = static_cast<int>(parsed);
+        return true;
+      });
+  add("elbow_min_gain", "double >= 0", "relative gain a further K-Means class must add",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        double parsed = 0.0;
+        if (!ParseNonNegativeDouble(value, &parsed, error)) {
+          return false;
+        }
+        config.clustering.elbow_min_gain = parsed;
+        return true;
+      });
+  add("run_scheduling", "bool", "run the Algorithm-1 scheduling co-simulation",
+      BoolKnob(&ScenarioConfig::run_scheduling));
+  add("scheduling_horizon_seconds", "double > 0", "co-simulation horizon",
+      PositiveDoubleKnob(&ScenarioConfig::scheduling_horizon_seconds));
+  add("mean_interarrival_seconds", "double > 0", "Poisson job interarrival mean",
+      PositiveDoubleKnob(&ScenarioConfig::mean_interarrival_seconds));
+  add("job_duration_factor", "double > 0", "job length multiplier (§6.1 scaling)",
+      PositiveDoubleKnob(&ScenarioConfig::job_duration_factor));
+  add("scheduling_storage", "none | stock | primary_aware | history",
+      "HDFS flavor co-simulated with the scheduler",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        if (value == "none") {
+          config.scheduling_storage = StorageVariant::kNone;
+        } else if (value == "stock") {
+          config.scheduling_storage = StorageVariant::kStock;
+        } else if (value == "primary_aware") {
+          config.scheduling_storage = StorageVariant::kPrimaryAware;
+        } else if (value == "history") {
+          config.scheduling_storage = StorageVariant::kHistory;
+        } else {
+          return Fail(error, "expected none, stock, primary_aware or history, got '" +
+                                 std::string(value) + "'");
+        }
+        return true;
+      });
+  add("scheduling_target_utilization", "double in [0, 1]",
+      "root-scale the fleet to this average before scheduling (0 = as generated)",
+      FractionKnob(&ScenarioConfig::scheduling_target_utilization));
+  add("placement_sample_blocks", "int > 0", "blocks sampled by the placement audit",
+      PositiveIntKnob(&ScenarioConfig::placement_sample_blocks));
+  add("run_durability", "bool", "run the durability experiment",
+      BoolKnob(&ScenarioConfig::run_durability));
+  add("durability_blocks", "int > 0", "blocks created for the durability experiment",
+      PositiveIntKnob(&ScenarioConfig::durability_blocks));
+  add("replications", "comma list of ints in [1, 16]",
+      "replication factors compared, e.g. 3,4",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        std::vector<int> replications;
+        for (std::string_view item : SplitList(value)) {
+          int64_t parsed = 0;
+          if (!ParseInt64(item, &parsed, error)) {
+            return false;
+          }
+          if (parsed < 1 || parsed > 16) {
+            return Fail(error, "replication factors must be in [1, 16]");
+          }
+          replications.push_back(static_cast<int>(parsed));
+        }
+        if (replications.empty()) {
+          return Fail(error, "replication list must not be empty");
+        }
+        config.replications = std::move(replications);
+        return true;
+      });
+  add("run_availability", "bool", "run the availability experiment",
+      BoolKnob(&ScenarioConfig::run_availability));
+  add("availability_blocks", "int > 0", "blocks placed for the availability experiment",
+      PositiveIntKnob(&ScenarioConfig::availability_blocks));
+  add("availability_accesses", "int > 0", "block accesses issued per sweep point",
+      PositiveIntKnob(&ScenarioConfig::availability_accesses));
+  add("availability_utilizations", "comma list of doubles in (0, 1)",
+      "target utilizations swept, e.g. 0.3,0.5,0.7",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        std::vector<double> targets;
+        for (std::string_view item : SplitList(value)) {
+          double parsed = 0.0;
+          if (!ParseDouble(item, &parsed, error)) {
+            return false;
+          }
+          if (parsed <= 0.0 || parsed >= 1.0) {
+            return Fail(error, "target utilizations must be in (0, 1)");
+          }
+          targets.push_back(parsed);
+        }
+        if (targets.empty()) {
+          return Fail(error, "target utilization list must not be empty");
+        }
+        config.availability_utilizations = std::move(targets);
+        return true;
+      });
+  return knobs;
+}
+
+}  // namespace
+
+const std::vector<ScenarioKnob>& ScenarioKnobs() {
+  static const std::vector<ScenarioKnob>* knobs = new std::vector<ScenarioKnob>(MakeKnobs());
+  return *knobs;
+}
+
+bool SplitOverride(std::string_view text, std::string* key, std::string* value,
+                   std::string* error) {
+  size_t eq = text.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Fail(error, "override '" + std::string(text) + "' is not of the form key=value");
+  }
+  *key = std::string(text.substr(0, eq));
+  *value = std::string(text.substr(eq + 1));
+  return true;
+}
+
+bool ApplyScenarioOverride(ScenarioConfig& config, std::string_view key,
+                           std::string_view value, std::string* error) {
+  for (const ScenarioKnob& knob : ScenarioKnobs()) {
+    if (key == knob.name) {
+      std::string detail;
+      if (!knob.apply(config, value, &detail)) {
+        return Fail(error, "invalid value for " + std::string(key) + " (" + knob.syntax +
+                               "): " + detail);
+      }
+      return true;
+    }
+  }
+  const ScenarioKnob* closest = nullptr;
+  size_t best = std::string_view::npos;
+  for (const ScenarioKnob& knob : ScenarioKnobs()) {
+    size_t distance = EditDistance(key, knob.name);
+    if (best == std::string_view::npos || distance < best) {
+      best = distance;
+      closest = &knob;
+    }
+  }
+  std::string message = "unknown scenario knob '" + std::string(key) + "'";
+  if (closest != nullptr && best <= std::string(key).size() / 2 + 2) {
+    message += "; did you mean '" + std::string(closest->name) + "'?";
+  }
+  return Fail(error, message + " (see harvest_sim --knobs)");
+}
+
+std::string ValidateScenario(const ScenarioConfig& config) {
+  if (config.use_testbed && !config.server_shapes.empty()) {
+    return "server_shapes has no effect with use_testbed=true (the paper's 102-server "
+           "testbed is homogeneous); set use_testbed=false and pick datacenters instead";
+  }
+  if (!config.use_testbed && config.datacenters.empty()) {
+    return "datacenters must not be empty when use_testbed=false";
+  }
+  return "";
+}
+
+}  // namespace harvest

@@ -1,0 +1,170 @@
+#include "src/driver/result_json.h"
+
+#include "src/driver/json_writer.h"
+#include "src/signal/pattern.h"
+
+namespace harvest {
+namespace {
+
+void WriteFleet(JsonWriter& json, const FleetStageResult& fleet) {
+  json.Key("fleet").BeginObject();
+  json.Field("servers", fleet.servers);
+  json.Field("tenants", fleet.tenants);
+  json.Field("average_primary_utilization", fleet.average_primary_utilization);
+  json.Field("harvestable_blocks", fleet.harvestable_blocks);
+  json.Field("reimage_events", fleet.reimage_events);
+  json.EndObject();
+}
+
+void WriteClustering(JsonWriter& json, const ClusteringStageResult& clustering) {
+  json.Key("clustering").BeginObject();
+  json.Key("classes").BeginArray();
+  for (const ClusteringClassResult& cls : clustering.classes) {
+    json.BeginObject();
+    json.Field("label", cls.label);
+    json.Field("pattern", cls.pattern);
+    json.Field("average_utilization", cls.average_utilization);
+    json.Field("peak_utilization", cls.peak_utilization);
+    json.Field("tenants", cls.tenants);
+    json.Field("servers", cls.servers);
+    json.Field("total_cores", cls.total_cores);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("tenants_per_pattern").BeginObject();
+  for (int p = 0; p < kNumPatterns; ++p) {
+    json.Field(PatternName(static_cast<UtilizationPattern>(p)),
+               clustering.tenants_per_pattern[static_cast<size_t>(p)]);
+  }
+  json.EndObject();
+  json.Field("classifier_accuracy", clustering.classifier_accuracy);
+  json.EndObject();
+}
+
+void WriteSchedulingRun(JsonWriter& json, const char* key, const SchedulingRunResult& run) {
+  json.Key(key).BeginObject();
+  json.Field("jobs_arrived", run.jobs_arrived);
+  json.Field("jobs_completed", run.jobs_completed);
+  json.Field("average_execution_seconds", run.average_execution_seconds);
+  json.Field("total_kills", run.total_kills);
+  json.Field("average_total_utilization", run.average_total_utilization);
+  json.Field("average_primary_utilization", run.average_primary_utilization);
+  if (run.has_storage) {
+    json.Field("failed_access_fraction", run.failed_access_fraction);
+  }
+  json.EndObject();
+}
+
+void WriteScheduling(JsonWriter& json, const SchedulingStageResult& scheduling) {
+  json.Key("scheduling").BeginObject();
+  json.Field("horizon_seconds", scheduling.horizon_seconds);
+  json.Field("mean_interarrival_seconds", scheduling.mean_interarrival_seconds);
+  json.Field("target_utilization", scheduling.target_utilization);
+  json.Field("storage_variant", scheduling.storage_variant);
+  WriteSchedulingRun(json, "primary_aware", scheduling.primary_aware);
+  WriteSchedulingRun(json, "history", scheduling.history);
+  json.Field("history_improvement_percent", scheduling.history_improvement_percent);
+  json.Key("class_diagnostics").BeginArray();
+  for (const SchedulingClassResult& cls : scheduling.class_diagnostics) {
+    json.BeginObject();
+    json.Field("class_id", cls.class_id);
+    json.Field("label", cls.label);
+    json.Field("pattern", cls.pattern);
+    json.Field("containers", cls.containers);
+    json.Field("kills", cls.kills);
+    json.Field("total_lease_seconds", cls.total_lease_seconds);
+    json.Field("mean_lease_seconds", cls.mean_lease_seconds);
+    json.Field("selections", cls.selections);
+    json.Field("rank_weight_contribution", cls.rank_weight_contribution);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+void WritePlacement(JsonWriter& json, const PlacementAuditStageResult& placement) {
+  json.Key("placement").BeginObject();
+  json.Field("replication", placement.replication);
+  json.Field("sampled_blocks", placement.sampled_blocks);
+  json.Field("grid_balance_ratio", placement.grid_balance_ratio);
+  json.Field("grid_total_blocks", placement.grid_total_blocks);
+  json.Field("partial_placements", placement.partial_placements);
+  json.Field("mean_quality_score", placement.mean_quality_score);
+  json.Field("min_quality_score", placement.min_quality_score);
+  json.Field("environment_violation_fraction", placement.environment_violation_fraction);
+  json.EndObject();
+}
+
+void WriteDurability(JsonWriter& json, const DurabilityStageResult& durability) {
+  json.Key("durability").BeginArray();
+  for (const DurabilityCellResult& cell : durability.cells) {
+    json.BeginObject();
+    json.Field("placement", cell.placement);
+    json.Field("replication", cell.replication);
+    json.Field("blocks", cell.blocks);
+    json.Field("lost_percent", cell.lost_percent);
+    json.Field("reimage_events", cell.reimage_events);
+    json.Field("replicas_destroyed", cell.replicas_destroyed);
+    json.Field("rereplications_completed", cell.rereplications_completed);
+    json.EndObject();
+  }
+  json.EndArray();
+}
+
+void WriteAvailability(JsonWriter& json, const AvailabilityStageResult& availability) {
+  json.Key("availability").BeginArray();
+  for (const AvailabilityCellResult& cell : availability.cells) {
+    json.BeginObject();
+    json.Field("target_utilization", cell.target_utilization);
+    json.Field("placement", cell.placement);
+    json.Field("average_utilization", cell.average_utilization);
+    json.Field("accesses", cell.accesses);
+    json.Field("failed_percent", cell.failed_percent);
+    json.EndObject();
+  }
+  json.EndArray();
+}
+
+}  // namespace
+
+void WriteDatacenterResult(JsonWriter& json, const DatacenterResult& dc) {
+  json.BeginObject();
+  json.Field("name", dc.name);
+  WriteFleet(json, dc.fleet);
+  WriteClustering(json, dc.clustering);
+  if (dc.has_scheduling) {
+    WriteScheduling(json, dc.scheduling);
+  }
+  WritePlacement(json, dc.placement);
+  if (dc.has_durability) {
+    WriteDurability(json, dc.durability);
+  }
+  if (dc.has_availability) {
+    WriteAvailability(json, dc.availability);
+  }
+  json.EndObject();
+}
+
+std::string RenderScenarioJson(const ScenarioResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("schema_version", result.schema_version);
+  json.Field("scenario", result.scenario);
+  json.Field("description", result.description);
+  json.Field("seed", result.seed);
+  json.Field("scale", result.scale);
+  json.Key("overrides").BeginArray();
+  for (const std::string& override_text : result.overrides) {
+    json.Value(override_text);
+  }
+  json.EndArray();
+  json.Key("datacenters").BeginArray();
+  for (const DatacenterResult& dc : result.datacenters) {
+    WriteDatacenterResult(json, dc);
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
+}
+
+}  // namespace harvest

@@ -86,21 +86,94 @@ ScenarioConfig ReimageStorm() {
   return config;
 }
 
-}  // namespace
-
-const std::vector<ScenarioConfig>& AllScenarios() {
-  static const std::vector<ScenarioConfig>* scenarios =
-      new std::vector<ScenarioConfig>{Dc9Testbed(), FleetSweep(), ReimageStorm()};
-  return *scenarios;
+ScenarioConfig HeteroShapes() {
+  ScenarioConfig config;
+  config.name = "hetero_shapes";
+  config.description =
+      "Heterogeneous server SKUs (12c/32GB, 24c/64GB, 48c/128GB mixed per server) "
+      "across a calm (DC-2) and a bursty (DC-1) profile: exercises Algorithm-1 "
+      "class capacities and Algorithm-2 placement when rack capacity is uneven, "
+      "the machine-shape axis the related provisioning work evaluates.";
+  config.use_testbed = false;
+  config.datacenters = {"DC-1", "DC-2"};
+  config.fleet_scale = 0.1;
+  config.trace_slots = kSlotsPerDay * 2;
+  config.reimage_months = 12;
+  config.server_shapes = {{{12, 32 * 1024}, 0.5}, {{24, 64 * 1024}, 0.3},
+                          {{48, 128 * 1024}, 0.2}};
+  config.run_scheduling = true;
+  config.scheduling_horizon_seconds = 4.0 * 3600.0;
+  config.mean_interarrival_seconds = 240.0;
+  config.job_duration_factor = 1.5;
+  config.scheduling_storage = StorageVariant::kNone;
+  config.scheduling_target_utilization = 0.45;
+  config.run_durability = true;
+  config.durability_blocks = 10000;
+  config.replications = {3};
+  config.run_availability = false;
+  return config;
 }
 
-const ScenarioConfig* FindScenario(std::string_view name) {
-  for (const auto& scenario : AllScenarios()) {
-    if (scenario.name == name) {
-      return &scenario;
-    }
-  }
-  return nullptr;
+ScenarioConfig WeekHorizon() {
+  ScenarioConfig config;
+  config.name = "week_horizon";
+  config.description =
+      "Week-long horizon on DC-4 (the most temporally variable profile): seven days "
+      "of 2-minute telemetry with weekend dips, a 24-hour scheduling co-simulation "
+      "at 50% target utilization, and year-long durability plus an availability "
+      "sweep -- the multi-day axis the dynamic-provisioning literature stresses.";
+  config.use_testbed = false;
+  config.datacenters = {"DC-4"};
+  config.fleet_scale = 0.15;
+  config.trace_slots = kSlotsPerDay * 7;
+  config.reimage_months = 12;
+  config.per_server_traces = false;
+  config.run_scheduling = true;
+  config.scheduling_horizon_seconds = 24.0 * 3600.0;
+  config.mean_interarrival_seconds = 600.0;
+  config.scheduling_storage = StorageVariant::kNone;
+  config.scheduling_target_utilization = 0.50;
+  config.run_durability = true;
+  config.durability_blocks = 12000;
+  config.replications = {3};
+  config.run_availability = true;
+  config.availability_blocks = 5000;
+  config.availability_accesses = 30000;
+  config.availability_utilizations = {0.30, 0.50, 0.70};
+  return config;
+}
+
+ScenarioConfig StormUnderLoad() {
+  ScenarioConfig config;
+  config.name = "storm_under_load";
+  config.description =
+      "Failure injection under load: DC-9 with the §4.2 correlated reimage storm "
+      "while the Algorithm-1 scheduler co-simulates TPC-DS against HDFS-H storage, "
+      "then Stock-vs-H durability at 3x and 4x replication on the same stormy fleet.";
+  config.use_testbed = false;
+  config.datacenters = {"DC-9"};
+  config.fleet_scale = 0.25;
+  config.trace_slots = kSlotsPerDay;
+  config.reimage_months = 12;
+  config.per_server_traces = false;
+  config.reimage_storm = true;
+  config.run_scheduling = true;
+  config.scheduling_horizon_seconds = 4.0 * 3600.0;
+  config.mean_interarrival_seconds = 300.0;
+  config.scheduling_storage = StorageVariant::kHistory;
+  config.scheduling_target_utilization = 0.40;
+  config.run_durability = true;
+  config.durability_blocks = 20000;
+  config.replications = {3, 4};
+  config.run_availability = false;
+  return config;
+}
+
+}  // namespace
+
+std::vector<ScenarioConfig> BuiltinScenarioList() {
+  return {Dc9Testbed(),   FleetSweep(),  ReimageStorm(),
+          HeteroShapes(), WeekHorizon(), StormUnderLoad()};
 }
 
 ScenarioConfig ScaledScenario(const ScenarioConfig& config, double scale) {

@@ -2,9 +2,13 @@
 // every knob of the pipeline (fleet construction, clustering, Algorithm-1
 // scheduling, Algorithm-2 placement, durability / availability experiments)
 // so that a (scenario, seed, scale) triple fully determines the run and its
-// JSON output. Presets mirror the paper's evaluation setups: the 102-server
-// DC-9 testbed of §6.1, the ten-datacenter simulation sweep of §6.3-6.5, and
-// a correlated-reimaging storm stressing the durability threat of §4.2.
+// JSON output. The built-in presets mirror the paper's evaluation setups
+// (the 102-server DC-9 testbed of §6.1, the ten-datacenter simulation sweep
+// of §6.3-6.5, a correlated-reimaging storm stressing §4.2) plus scenario
+// axes from the ROADMAP wishlist: heterogeneous server shapes, a week-long
+// horizon, and a reimage storm under scheduling load. New scenarios are
+// added through the ScenarioRegistry (src/driver/registry.h), and any knob
+// below can be overridden per run with `harvest_sim --set key=value`.
 
 #ifndef HARVEST_SRC_DRIVER_SCENARIO_H_
 #define HARVEST_SRC_DRIVER_SCENARIO_H_
@@ -14,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/cluster/datacenter.h"
 #include "src/core/utilization_clustering.h"
 #include "src/experiments/durability.h"
 #include "src/experiments/scheduling_sim.h"
@@ -40,6 +45,9 @@ struct ScenarioConfig {
   bool reimage_storm = false;
   double storm_monthly_prob = 0.5;
   double storm_fraction = 0.9;
+  // Heterogeneous server SKU mix, sampled per server by weight. Empty =
+  // homogeneous testbed shape (12 cores / 32 GB).
+  std::vector<ServerShape> server_shapes;
 
   // --- Clustering service (src/signal FFT + src/core K-Means) ---
   ClusteringOptions clustering;
@@ -69,10 +77,16 @@ struct ScenarioConfig {
   std::vector<double> availability_utilizations = {0.30, 0.50};
 };
 
-// The built-in presets, in stable order.
+// The built-in preset definitions, in stable order. Consumed once by the
+// builtin ScenarioRegistry (src/driver/registry.h); everyone else should go
+// through AllScenarios() / FindScenario().
+std::vector<ScenarioConfig> BuiltinScenarioList();
+
+// All registered scenarios, in registration order (backed by the builtin
+// registry in src/driver/registry.h).
 const std::vector<ScenarioConfig>& AllScenarios();
 
-// Looks a preset up by name; nullptr when unknown.
+// Looks a registered scenario up by name; nullptr when unknown.
 const ScenarioConfig* FindScenario(std::string_view name);
 
 // Scales the scenario's size knobs (fleet, block and access counts) by

@@ -1,0 +1,86 @@
+// SchedulingStage: the Algorithm-1 co-simulation, YARN-H against the
+// primary-aware baseline on the same (optionally root-scaled) fleet, plus
+// the per-class diagnostics that drive the ranking-weight investigation.
+
+#include "src/driver/stage.h"
+#include "src/experiments/cluster_scaling.h"
+#include "src/experiments/scheduling_sim.h"
+#include "src/signal/pattern.h"
+
+namespace harvest {
+namespace {
+
+SchedulingRunResult FlattenRun(const SchedulingSimResult& result) {
+  SchedulingRunResult run;
+  run.jobs_arrived = result.jobs_arrived;
+  run.jobs_completed = result.jobs_completed;
+  run.average_execution_seconds = result.average_execution_seconds;
+  run.total_kills = result.total_kills;
+  run.average_total_utilization = result.average_total_utilization;
+  run.average_primary_utilization = result.average_primary_utilization;
+  run.has_storage = result.storage.accesses > 0;
+  if (run.has_storage) {
+    run.failed_access_fraction = result.storage.FailedAccessFraction();
+  }
+  return run;
+}
+
+}  // namespace
+
+SchedulingStageResult RunSchedulingStage(const DcContext& ctx, const Cluster& cluster) {
+  const ScenarioConfig& config = *ctx.config;
+  const Cluster* sim_cluster = &cluster;
+  Cluster rescaled;
+  if (config.scheduling_target_utilization > 0.0) {
+    rescaled = ScaleClusterUtilization(cluster, ScalingMethod::kRoot,
+                                       config.scheduling_target_utilization);
+    sim_cluster = &rescaled;
+  }
+
+  SchedulingSimOptions options;
+  options.clustering = config.clustering;
+  options.storage = config.scheduling_storage;
+  options.horizon_seconds = config.scheduling_horizon_seconds;
+  options.mean_interarrival_seconds = config.mean_interarrival_seconds;
+  options.job_duration_factor = config.job_duration_factor;
+  options.thresholds.short_below *= config.job_duration_factor;
+  options.thresholds.long_above *= config.job_duration_factor;
+  options.seed = ctx.StreamSeed("scheduling");
+
+  options.mode = SchedulerMode::kPrimaryAware;
+  SchedulingSimResult baseline = RunSchedulingSimulation(*sim_cluster, *ctx.suite, options);
+  options.mode = SchedulerMode::kHistory;
+  SchedulingSimResult history = RunSchedulingSimulation(*sim_cluster, *ctx.suite, options);
+
+  SchedulingStageResult result;
+  result.horizon_seconds = options.horizon_seconds;
+  result.mean_interarrival_seconds = options.mean_interarrival_seconds;
+  result.target_utilization = config.scheduling_target_utilization;
+  result.storage_variant = StorageVariantName(config.scheduling_storage);
+  result.primary_aware = FlattenRun(baseline);
+  result.history = FlattenRun(history);
+  result.history_improvement_percent =
+      baseline.average_execution_seconds > 0.0
+          ? 100.0 *
+                (baseline.average_execution_seconds - history.average_execution_seconds) /
+                baseline.average_execution_seconds
+          : 0.0;
+
+  result.class_diagnostics.reserve(history.class_diagnostics.size());
+  for (const ClassSchedulingDiagnostics& diag : history.class_diagnostics) {
+    SchedulingClassResult entry;
+    entry.class_id = diag.class_id;
+    entry.label = diag.label;
+    entry.pattern = PatternName(diag.pattern);
+    entry.containers = diag.containers;
+    entry.kills = diag.kills;
+    entry.total_lease_seconds = diag.lease_seconds;
+    entry.mean_lease_seconds = diag.MeanLeaseSeconds();
+    entry.selections = diag.selections;
+    entry.rank_weight_contribution = diag.rank_weight_contribution;
+    result.class_diagnostics.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace harvest

@@ -1,0 +1,230 @@
+// Composable stage API for the harvest_sim driver. The end-to-end pipeline
+// for one datacenter is a fixed sequence of typed stages
+//
+//   FleetBuild -> Clustering -> Scheduling -> PlacementAudit
+//               -> Durability -> Availability
+//
+// each a pure function of a DcContext (the scaled scenario config, the
+// datacenter label/index, and an independently derived RNG stream) returning
+// a plain result struct. No stage builds JSON: src/driver/result_json.cc
+// renders the structs, so tests and the CI diff tool consume typed data
+// instead of reparsing strings.
+//
+// Determinism contract: every random draw a stage makes flows from
+// DcContext::StreamSeed(tag), where the per-DC seed is derived from the
+// scenario seed and the datacenter *index* alone. Stages therefore never
+// share RNG state across datacenters or across stages, which is what lets
+// the driver run datacenters on a thread pool (src/driver/executor.h) and
+// still produce byte-identical output for any --threads value.
+
+#ifndef HARVEST_SRC_DRIVER_STAGE_H_
+#define HARVEST_SRC_DRIVER_STAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/driver/scenario.h"
+#include "src/jobs/dag.h"
+#include "src/signal/pattern.h"
+#include "src/util/rng.h"
+
+namespace harvest {
+
+// Independent 64-bit stream per (seed, tag): adding or disabling one
+// consumer never shifts another's randomness.
+inline uint64_t DerivedStreamSeed(uint64_t seed, std::string_view tag) {
+  uint64_t state = seed ^ StableHash(tag);
+  return SplitMix64(state);
+}
+
+// Per-datacenter seed, a function of the scenario seed and the DC *index*
+// only -- never of thread ids or execution order.
+inline uint64_t DeriveDcSeed(uint64_t scenario_seed, int dc_index) {
+  uint64_t state =
+      scenario_seed ^ (0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(dc_index) + 1));
+  return SplitMix64(state);
+}
+
+// Everything one datacenter's stages need. Cheap to copy; the config and
+// suite are shared read-only across worker threads.
+struct DcContext {
+  const ScenarioConfig* config = nullptr;  // already scaled
+  std::string label;                       // e.g. "DC-4" or "DC-9-testbed"
+  int dc_index = 0;                        // position in the scenario's DC list
+  uint64_t dc_seed = 0;                    // DeriveDcSeed(scenario seed, dc_index)
+  // The shared TPC-DS suite (label-independent by design: every datacenter
+  // runs the same 52 queries). Null when scheduling is disabled.
+  const std::vector<JobDag>* suite = nullptr;
+
+  // The RNG stream for one stage of this datacenter.
+  uint64_t StreamSeed(std::string_view stage_tag) const {
+    return DerivedStreamSeed(dc_seed, stage_tag);
+  }
+};
+
+// --- FleetBuildStage ------------------------------------------------------
+
+struct FleetStageResult {
+  size_t servers = 0;
+  size_t tenants = 0;
+  double average_primary_utilization = 0.0;
+  int64_t harvestable_blocks = 0;
+  int64_t reimage_events = 0;
+};
+
+struct FleetBuildOutput {
+  Cluster cluster;  // consumed by every downstream stage
+  FleetStageResult stats;
+};
+
+FleetBuildOutput RunFleetBuildStage(const DcContext& ctx);
+
+// --- ClusteringStage ------------------------------------------------------
+
+struct ClusteringClassResult {
+  std::string label;
+  std::string pattern;
+  double average_utilization = 0.0;
+  double peak_utilization = 0.0;
+  size_t tenants = 0;
+  size_t servers = 0;
+  int total_cores = 0;
+};
+
+struct ClusteringStageResult {
+  std::vector<ClusteringClassResult> classes;
+  // Indexed by UtilizationPattern; rendered with PatternName().
+  std::array<int, kNumPatterns> tenants_per_pattern{};
+  // Accuracy against the generators' ground-truth patterns.
+  double classifier_accuracy = 1.0;
+};
+
+ClusteringStageResult RunClusteringStage(const DcContext& ctx, const Cluster& cluster);
+
+// --- SchedulingStage ------------------------------------------------------
+
+struct SchedulingRunResult {
+  int64_t jobs_arrived = 0;
+  int64_t jobs_completed = 0;
+  double average_execution_seconds = 0.0;
+  int64_t total_kills = 0;
+  double average_total_utilization = 0.0;
+  double average_primary_utilization = 0.0;
+  bool has_storage = false;
+  double failed_access_fraction = 0.0;
+};
+
+// Per-class diagnostics of the H run (src/experiments ClassSchedulingDiagnostics,
+// flattened to driver types).
+struct SchedulingClassResult {
+  int class_id = 0;
+  std::string label;
+  std::string pattern;
+  int64_t containers = 0;
+  int64_t kills = 0;
+  double total_lease_seconds = 0.0;
+  double mean_lease_seconds = 0.0;
+  int64_t selections = 0;
+  double rank_weight_contribution = 0.0;
+};
+
+struct SchedulingStageResult {
+  double horizon_seconds = 0.0;
+  double mean_interarrival_seconds = 0.0;
+  double target_utilization = 0.0;
+  std::string storage_variant;
+  SchedulingRunResult primary_aware;
+  SchedulingRunResult history;
+  double history_improvement_percent = 0.0;
+  std::vector<SchedulingClassResult> class_diagnostics;
+};
+
+SchedulingStageResult RunSchedulingStage(const DcContext& ctx, const Cluster& cluster);
+
+// --- PlacementAuditStage --------------------------------------------------
+
+struct PlacementAuditStageResult {
+  int replication = 3;
+  int sampled_blocks = 0;
+  double grid_balance_ratio = 0.0;
+  int64_t grid_total_blocks = 0;
+  int64_t partial_placements = 0;
+  double mean_quality_score = 0.0;
+  double min_quality_score = 0.0;
+  double environment_violation_fraction = 0.0;
+};
+
+PlacementAuditStageResult RunPlacementAuditStage(const DcContext& ctx, const Cluster& cluster);
+
+// --- DurabilityStage ------------------------------------------------------
+
+struct DurabilityCellResult {
+  std::string placement;  // PlacementKindName
+  int replication = 3;
+  int64_t blocks = 0;
+  double lost_percent = 0.0;
+  int64_t reimage_events = 0;
+  int64_t replicas_destroyed = 0;
+  int64_t rereplications_completed = 0;
+};
+
+struct DurabilityStageResult {
+  std::vector<DurabilityCellResult> cells;
+};
+
+DurabilityStageResult RunDurabilityStage(const DcContext& ctx, const Cluster& cluster);
+
+// --- AvailabilityStage ----------------------------------------------------
+
+struct AvailabilityCellResult {
+  double target_utilization = 0.0;
+  std::string placement;  // PlacementKindName
+  double average_utilization = 0.0;
+  int64_t accesses = 0;
+  double failed_percent = 0.0;
+};
+
+struct AvailabilityStageResult {
+  std::vector<AvailabilityCellResult> cells;
+};
+
+AvailabilityStageResult RunAvailabilityStage(const DcContext& ctx, const Cluster& cluster);
+
+// --- Composition ----------------------------------------------------------
+
+struct DatacenterResult {
+  std::string name;
+  FleetStageResult fleet;
+  ClusteringStageResult clustering;
+  bool has_scheduling = false;
+  SchedulingStageResult scheduling;
+  PlacementAuditStageResult placement;
+  bool has_durability = false;
+  DurabilityStageResult durability;
+  bool has_availability = false;
+  AvailabilityStageResult availability;
+};
+
+// The whole run, typed. result_json.cc renders it; pipeline.cc summarizes it.
+struct ScenarioResult {
+  int schema_version = 2;
+  std::string scenario;
+  std::string description;
+  uint64_t seed = 0;
+  double scale = 1.0;
+  // `--set key=value` overrides applied to the preset, for provenance.
+  std::vector<std::string> overrides;
+  std::vector<DatacenterResult> datacenters;
+};
+
+// Runs the stage sequence for one datacenter. Thread-safe for distinct
+// contexts: everything mutable is local.
+DatacenterResult RunDatacenterStages(const DcContext& ctx);
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_DRIVER_STAGE_H_

@@ -79,7 +79,7 @@ class SchedulingSimulation {
   };
 
   void SetupHistoryScheduling() {
-    UtilizationClusteringService service;
+    UtilizationClusteringService service(options_.clustering);
     Rng cluster_rng(options_.seed ^ 0x5eedULL);
     snapshot_ = service.Run(cluster_, cluster_rng);
     std::vector<int> server_class(cluster_.num_servers(), 0);
@@ -88,8 +88,29 @@ class SchedulingSimulation {
         server_class[static_cast<size_t>(s)] = cls.id;
       }
     }
+    server_class_ = server_class;
     rm_.SetServerClasses(std::move(server_class));
     selector_ = std::make_unique<ClassSelector>(&snapshot_);
+
+    result_.class_diagnostics.reserve(snapshot_.classes.size());
+    for (size_t c = 0; c < snapshot_.classes.size(); ++c) {
+      const UtilizationClass& cls = snapshot_.classes[c];
+      ClassSchedulingDiagnostics diag;
+      diag.class_id = cls.id;
+      diag.label = cls.label;
+      diag.pattern = cls.pattern;
+      result_.class_diagnostics.push_back(std::move(diag));
+      class_index_by_id_[cls.id] = c;
+    }
+  }
+
+  // Diagnostics slot for a class id; nullptr in PT mode or for unknown ids.
+  ClassSchedulingDiagnostics* DiagnosticsForClass(int class_id) {
+    auto it = class_index_by_id_.find(class_id);
+    if (it == class_index_by_id_.end()) {
+      return nullptr;
+    }
+    return &result_.class_diagnostics[it->second];
   }
 
   void SetupStorage() {
@@ -154,6 +175,17 @@ class SchedulingSimulation {
     }
     ClassSelection selection =
         selector_->Select(job.type, job.am->dag().MaxConcurrentCores(), states, rng_);
+    for (size_t i = 0; i < selection.class_ids.size(); ++i) {
+      ClassSchedulingDiagnostics* diag = DiagnosticsForClass(selection.class_ids[i]);
+      if (diag == nullptr) {
+        continue;
+      }
+      ++diag->selections;
+      diag->rank_weight_contribution +=
+          selector_->weights().weight[static_cast<int>(selection.job_type)]
+                                     [static_cast<int>(diag->pattern)] *
+          selection.headrooms[i];
+    }
     job.allowed_classes = selection.class_ids;
     job.awaiting_classes = selection.empty();
   }
@@ -195,6 +227,14 @@ class SchedulingSimulation {
         UtilizationPattern pattern =
             cluster_.tenant(cluster_.server(container.server).tenant).true_pattern;
         ++result_.containers_by_pattern[static_cast<size_t>(pattern)];
+        if (!server_class_.empty()) {
+          ClassSchedulingDiagnostics* diag =
+              DiagnosticsForClass(server_class_[static_cast<size_t>(container.server)]);
+          if (diag != nullptr) {
+            ++diag->containers;
+            diag->lease_seconds += stage.task_seconds;
+          }
+        }
         queue_.Schedule(now + stage.task_seconds, [this, cid = container.id] {
           OnTaskCompletion(cid);
         });
@@ -292,6 +332,13 @@ class SchedulingSimulation {
       UtilizationPattern pattern =
           cluster_.tenant(cluster_.server(container.server).tenant).true_pattern;
       ++result_.kills_by_pattern[static_cast<size_t>(pattern)];
+      if (!server_class_.empty()) {
+        ClassSchedulingDiagnostics* diag =
+            DiagnosticsForClass(server_class_[static_cast<size_t>(container.server)]);
+        if (diag != nullptr) {
+          ++diag->kills;
+        }
+      }
     }
     // 2. H-mode jobs that could not pick classes -- or whose classes have no
     // room left (nothing running, tasks pending) -- select again.
@@ -373,6 +420,8 @@ class SchedulingSimulation {
   std::vector<JobDag> suite_;
   std::vector<JobArrival> arrivals_;
   ClusteringSnapshot snapshot_;
+  std::vector<int> server_class_;  // H mode: server -> class id
+  std::unordered_map<int, size_t> class_index_by_id_;
   std::unique_ptr<ClassSelector> selector_;
   std::unique_ptr<NameNode> name_node_;
   std::unordered_map<JobId, ActiveJob> jobs_;

@@ -36,6 +36,8 @@ const char* StorageVariantName(StorageVariant variant);
 struct SchedulingSimOptions {
   SchedulerMode mode = SchedulerMode::kHistory;
   StorageVariant storage = StorageVariant::kNone;
+  // Clustering knobs for the H-mode snapshot (class granularity sweeps).
+  ClusteringOptions clustering;
   Resources reserve = kDefaultReserve;
   double horizon_seconds = 5.0 * 3600.0;
   double mean_interarrival_seconds = 300.0;
@@ -66,6 +68,29 @@ struct JobRecord {
   int64_t kills = 0;
 };
 
+// Per-utilization-class scheduling telemetry, collected only in kHistory mode
+// (PT has no classes). Pure bookkeeping: collecting it draws no RNG, so
+// results are bit-identical with and without consumers.
+struct ClassSchedulingDiagnostics {
+  int class_id = 0;
+  std::string label;  // RM-H node label, e.g. "periodic-2"
+  UtilizationPattern pattern = UtilizationPattern::kConstant;
+  // Containers the class hosted, and how many of them were later killed by
+  // reserve enforcement.
+  int64_t containers = 0;
+  int64_t kills = 0;
+  // Total and mean scheduled task-seconds (lease durations) hosted.
+  double lease_seconds = 0.0;
+  double MeanLeaseSeconds() const {
+    return containers > 0 ? lease_seconds / static_cast<double>(containers) : 0.0;
+  }
+  // How often Algorithm 1 put this class in a job's allowed set, and the
+  // accumulated weight*headroom it contributed at those selections -- the
+  // quantity the ranking-weight ablation needs.
+  int64_t selections = 0;
+  double rank_weight_contribution = 0.0;
+};
+
 struct SchedulingSimResult {
   std::vector<JobRecord> jobs;  // completed jobs only
   int64_t jobs_arrived = 0;
@@ -84,6 +109,8 @@ struct SchedulingSimResult {
   // were killed. Drives the ablation analysis of the ranking weights.
   std::array<int64_t, 3> containers_by_pattern{0, 0, 0};
   std::array<int64_t, 3> kills_by_pattern{0, 0, 0};
+  // One entry per utilization class, in snapshot order; empty in PT mode.
+  std::vector<ClassSchedulingDiagnostics> class_diagnostics;
 };
 
 SchedulingSimResult RunSchedulingSimulation(const Cluster& cluster,

@@ -6,7 +6,10 @@
 #include <string>
 
 #include "src/driver/json_writer.h"
+#include "src/driver/registry.h"
+#include "src/driver/result_json.h"
 #include "src/driver/scenario.h"
+#include "src/driver/stage.h"
 
 namespace harvest {
 namespace {
@@ -63,7 +66,7 @@ TEST(JsonWriterTest, DoubleFormattingIsStable) {
 
 TEST(ScenarioTest, PresetsExistWithUniqueNames) {
   const auto& scenarios = AllScenarios();
-  ASSERT_GE(scenarios.size(), 3u);
+  ASSERT_GE(scenarios.size(), 6u);
   for (size_t i = 0; i < scenarios.size(); ++i) {
     EXPECT_FALSE(scenarios[i].name.empty());
     EXPECT_FALSE(scenarios[i].description.empty());
@@ -74,7 +77,25 @@ TEST(ScenarioTest, PresetsExistWithUniqueNames) {
   EXPECT_NE(FindScenario("dc9_testbed"), nullptr);
   EXPECT_NE(FindScenario("fleet_sweep"), nullptr);
   EXPECT_NE(FindScenario("reimage_storm"), nullptr);
+  EXPECT_NE(FindScenario("hetero_shapes"), nullptr);
+  EXPECT_NE(FindScenario("week_horizon"), nullptr);
+  EXPECT_NE(FindScenario("storm_under_load"), nullptr);
   EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
+}
+
+TEST(ScenarioTest, NewPresetsCoverTheRoadmapAxes) {
+  const ScenarioConfig* hetero = FindScenario("hetero_shapes");
+  ASSERT_NE(hetero, nullptr);
+  EXPECT_GE(hetero->server_shapes.size(), 2u);
+
+  const ScenarioConfig* week = FindScenario("week_horizon");
+  ASSERT_NE(week, nullptr);
+  EXPECT_GE(week->trace_slots, kSlotsPerDay * 7);
+
+  const ScenarioConfig* storm = FindScenario("storm_under_load");
+  ASSERT_NE(storm, nullptr);
+  EXPECT_TRUE(storm->reimage_storm);
+  EXPECT_TRUE(storm->run_scheduling);
 }
 
 TEST(ScenarioTest, ScalingClampsToWellFormedFloors) {
@@ -90,6 +111,152 @@ TEST(ScenarioTest, ScalingClampsToWellFormedFloors) {
   ScenarioConfig same = ScaledScenario(*testbed, 1.0);
   EXPECT_EQ(same.testbed_servers, testbed->testbed_servers);
   EXPECT_EQ(same.durability_blocks, testbed->durability_blocks);
+}
+
+TEST(ScenarioRegistryTest, RejectsDuplicateAndUnnamedRegistrations) {
+  ScenarioRegistry registry;
+  ScenarioConfig config;
+  config.name = "my_scenario";
+  config.description = "test";
+  std::string error;
+  EXPECT_TRUE(registry.Register(config, &error));
+  EXPECT_NE(registry.Find("my_scenario"), nullptr);
+
+  EXPECT_FALSE(registry.Register(config, &error));
+  EXPECT_NE(error.find("already registered"), std::string::npos);
+
+  ScenarioConfig unnamed;
+  EXPECT_FALSE(registry.Register(unnamed, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos);
+
+  EXPECT_EQ(registry.Find("other"), nullptr);
+  EXPECT_EQ(registry.scenarios().size(), 1u);
+}
+
+TEST(ScenarioOverrideTest, SplitsKeyValuePairs) {
+  std::string key;
+  std::string value;
+  std::string error;
+  EXPECT_TRUE(SplitOverride("fleet_scale=0.5", &key, &value, &error));
+  EXPECT_EQ(key, "fleet_scale");
+  EXPECT_EQ(value, "0.5");
+  // Values may themselves contain '='; only the first one splits.
+  EXPECT_TRUE(SplitOverride("a=b=c", &key, &value, &error));
+  EXPECT_EQ(value, "b=c");
+  EXPECT_FALSE(SplitOverride("no_equals", &key, &value, &error));
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+  EXPECT_FALSE(SplitOverride("=value", &key, &value, &error));
+}
+
+TEST(ScenarioOverrideTest, RoundTripsEveryKnobKind) {
+  ScenarioConfig config = *FindScenario("fleet_sweep");
+  std::string error;
+  ASSERT_TRUE(ApplyScenarioOverride(config, "fleet_scale", "0.5", &error)) << error;
+  EXPECT_DOUBLE_EQ(config.fleet_scale, 0.5);
+  ASSERT_TRUE(ApplyScenarioOverride(config, "run_durability", "false", &error)) << error;
+  EXPECT_FALSE(config.run_durability);
+  ASSERT_TRUE(ApplyScenarioOverride(config, "durability_blocks", "2500", &error)) << error;
+  EXPECT_EQ(config.durability_blocks, 2500);
+  ASSERT_TRUE(ApplyScenarioOverride(config, "datacenters", "DC-1,DC-4", &error)) << error;
+  ASSERT_EQ(config.datacenters.size(), 2u);
+  EXPECT_EQ(config.datacenters[0], "DC-1");
+  ASSERT_TRUE(ApplyScenarioOverride(config, "replications", "3,4", &error)) << error;
+  ASSERT_EQ(config.replications.size(), 2u);
+  EXPECT_EQ(config.replications[1], 4);
+  ASSERT_TRUE(ApplyScenarioOverride(config, "availability_utilizations", "0.25,0.75", &error))
+      << error;
+  ASSERT_EQ(config.availability_utilizations.size(), 2u);
+  EXPECT_DOUBLE_EQ(config.availability_utilizations[1], 0.75);
+  ASSERT_TRUE(ApplyScenarioOverride(config, "scheduling_storage", "history", &error)) << error;
+  EXPECT_EQ(config.scheduling_storage, StorageVariant::kHistory);
+  ASSERT_TRUE(
+      ApplyScenarioOverride(config, "server_shapes", "12x32768@0.6,24x65536@0.4", &error))
+      << error;
+  ASSERT_EQ(config.server_shapes.size(), 2u);
+  EXPECT_EQ(config.server_shapes[1].capacity.cores, 24);
+  EXPECT_DOUBLE_EQ(config.server_shapes[0].weight, 0.6);
+}
+
+TEST(ScenarioOverrideTest, UnknownKeyAndMalformedValueAreUsageErrors) {
+  ScenarioConfig config = *FindScenario("dc9_testbed");
+  std::string error;
+  EXPECT_FALSE(ApplyScenarioOverride(config, "fleet_scael", "0.5", &error));
+  EXPECT_NE(error.find("unknown scenario knob"), std::string::npos);
+  EXPECT_NE(error.find("fleet_scale"), std::string::npos) << "expected a suggestion: " << error;
+
+  EXPECT_FALSE(ApplyScenarioOverride(config, "fleet_scale", "abc", &error));
+  EXPECT_NE(error.find("fleet_scale"), std::string::npos);
+  EXPECT_FALSE(ApplyScenarioOverride(config, "fleet_scale", "-1", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "fleet_scale", "0.5x", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "run_durability", "maybe", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "durability_blocks", "12.5", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "datacenters", "DC-11", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "replications", "3,99", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "scheduling_storage", "hdfs", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "server_shapes", "12@0.5", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "storm_fraction", "1.5", &error));
+  // Out-of-range values must error, not clamp (ERANGE) or truncate (narrowing).
+  EXPECT_FALSE(
+      ApplyScenarioOverride(config, "durability_blocks", "99999999999999999999", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "placement_sample_blocks", "4294967296", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "elbow_min_gain", "1e999", &error));
+}
+
+TEST(ScenarioOverrideTest, ValidateScenarioCatchesCrossKnobConflicts) {
+  ScenarioConfig config = *FindScenario("dc9_testbed");
+  EXPECT_EQ(ValidateScenario(config), "");
+  std::string error;
+  ASSERT_TRUE(ApplyScenarioOverride(config, "server_shapes", "48x131072@1", &error)) << error;
+  EXPECT_NE(ValidateScenario(config).find("server_shapes"), std::string::npos);
+
+  ScenarioConfig no_dcs = *FindScenario("fleet_sweep");
+  no_dcs.datacenters.clear();
+  EXPECT_NE(ValidateScenario(no_dcs).find("datacenters"), std::string::npos);
+  EXPECT_EQ(ValidateScenario(*FindScenario("hetero_shapes")), "");
+}
+
+TEST(ScenarioOverrideTest, ClusteringKnobsReachTheSchedulingSimulation) {
+  // max_classes_per_pattern must change the classes the H scheduler uses,
+  // not just the clustering report: cap it at one class per pattern and the
+  // per-class diagnostics must shrink to at most kNumPatterns entries.
+  ScenarioConfig config = *FindScenario("dc9_testbed");
+  std::string error;
+  ASSERT_TRUE(ApplyScenarioOverride(config, "max_classes_per_pattern", "1", &error)) << error;
+  ScenarioRunOptions options;
+  options.seed = 42;
+  options.scale = 0.2;
+  ScenarioRunResult run = RunScenario(config, options);
+  ASSERT_TRUE(run.result.datacenters[0].has_scheduling);
+  const auto& diagnostics = run.result.datacenters[0].scheduling.class_diagnostics;
+  ASSERT_FALSE(diagnostics.empty());
+  EXPECT_LE(diagnostics.size(), static_cast<size_t>(kNumPatterns));
+}
+
+TEST(StageApiTest, DcSeedsAreIndexDerivedAndStable) {
+  // The executor's determinism rests on these being pure functions of
+  // (seed, index) / (seed, tag) -- independent of threads or call order.
+  EXPECT_EQ(DeriveDcSeed(42, 0), DeriveDcSeed(42, 0));
+  EXPECT_NE(DeriveDcSeed(42, 0), DeriveDcSeed(42, 1));
+  EXPECT_NE(DeriveDcSeed(42, 0), DeriveDcSeed(43, 0));
+  EXPECT_NE(DerivedStreamSeed(7, "build"), DerivedStreamSeed(7, "clustering"));
+
+  DcContext ctx;
+  ctx.dc_seed = DeriveDcSeed(42, 3);
+  EXPECT_EQ(ctx.StreamSeed("durability"), DerivedStreamSeed(DeriveDcSeed(42, 3), "durability"));
+}
+
+TEST(ResultJsonTest, RendersOverridesAndTopLevelFields) {
+  ScenarioResult result;
+  result.scenario = "derived";
+  result.description = "desc";
+  result.seed = 7;
+  result.scale = 0.5;
+  result.overrides = {"fleet_scale=0.5", "run_durability=false"};
+  std::string json = RenderScenarioJson(result);
+  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"fleet_scale=0.5\""), std::string::npos);
+  EXPECT_NE(json.find("\"run_durability=false\""), std::string::npos);
+  EXPECT_NE(json.find("\"datacenters\": []"), std::string::npos);
 }
 
 // The driver's core contract: one (scenario, seed, scale) triple produces
@@ -136,6 +303,77 @@ TEST(DriverPipelineTest, StormScenarioKeepsHistoryAtOrBelowStockLoss) {
   ScenarioRunResult result = RunScenario(*scenario, options);
   EXPECT_LE(result.summary.worst_history_lost_percent,
             result.summary.worst_stock_lost_percent);
+}
+
+// The threading determinism contract: the JSON document is byte-identical
+// for any worker-thread count, on every registered scenario.
+TEST(DriverPipelineTest, ThreadCountNeverChangesJson) {
+  for (const ScenarioConfig& scenario : AllScenarios()) {
+    ScenarioRunOptions options;
+    options.seed = 42;
+    options.scale = 0.02;
+    options.threads = 1;
+    ScenarioRunResult serial = RunScenario(scenario, options);
+    options.threads = 4;
+    ScenarioRunResult parallel = RunScenario(scenario, options);
+    EXPECT_EQ(serial.json, parallel.json) << "scenario " << scenario.name;
+    EXPECT_FALSE(serial.json.empty());
+  }
+}
+
+TEST(DriverPipelineTest, TypedResultsMatchRenderedJsonAndSummary) {
+  const ScenarioConfig* scenario = FindScenario("reimage_storm");
+  ASSERT_NE(scenario, nullptr);
+  ScenarioRunOptions options;
+  options.seed = 5;
+  options.scale = 0.05;
+  ScenarioRunResult run = RunScenario(*scenario, options);
+  ASSERT_EQ(run.result.datacenters.size(), 1u);
+  const DatacenterResult& dc = run.result.datacenters[0];
+  EXPECT_EQ(dc.name, "DC-9");
+  EXPECT_GT(dc.fleet.servers, 0u);
+  EXPECT_TRUE(dc.has_durability);
+  EXPECT_FALSE(dc.has_scheduling);
+  EXPECT_EQ(dc.durability.cells.size(), 2u * scenario->replications.size());
+  // Re-rendering the typed results reproduces the run's JSON exactly.
+  EXPECT_EQ(RenderScenarioJson(run.result), run.json);
+  // And the summary is a pure function of the typed results.
+  ScenarioSummary summary = SummarizeScenario(run.result);
+  EXPECT_EQ(summary.datacenters, run.summary.datacenters);
+  EXPECT_EQ(summary.servers, run.summary.servers);
+  EXPECT_DOUBLE_EQ(summary.worst_stock_lost_percent, run.summary.worst_stock_lost_percent);
+}
+
+TEST(DriverPipelineTest, SchedulingStageEmitsPerClassDiagnostics) {
+  const ScenarioConfig* scenario = FindScenario("dc9_testbed");
+  ASSERT_NE(scenario, nullptr);
+  ScenarioRunOptions options;
+  options.seed = 42;
+  options.scale = 0.2;
+  ScenarioRunResult run = RunScenario(*scenario, options);
+  ASSERT_EQ(run.result.datacenters.size(), 1u);
+  const DatacenterResult& dc = run.result.datacenters[0];
+  ASSERT_TRUE(dc.has_scheduling);
+  ASSERT_FALSE(dc.scheduling.class_diagnostics.empty());
+  int64_t containers = 0;
+  int64_t selections = 0;
+  double contribution = 0.0;
+  for (const SchedulingClassResult& cls : dc.scheduling.class_diagnostics) {
+    EXPECT_FALSE(cls.label.empty());
+    EXPECT_FALSE(cls.pattern.empty());
+    EXPECT_LE(cls.kills, cls.containers);
+    if (cls.containers > 0) {
+      EXPECT_GT(cls.mean_lease_seconds, 0.0);
+    }
+    containers += cls.containers;
+    selections += cls.selections;
+    contribution += cls.rank_weight_contribution;
+  }
+  EXPECT_GT(containers, 0);
+  EXPECT_GT(selections, 0);
+  EXPECT_GT(contribution, 0.0);
+  EXPECT_NE(run.json.find("\"class_diagnostics\""), std::string::npos);
+  EXPECT_NE(run.json.find("\"rank_weight_contribution\""), std::string::npos);
 }
 
 }  // namespace

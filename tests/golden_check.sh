@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI perf/behavior tracking: re-runs every blessed (scenario, seed) pair at
+# the CI scale and diffs the JSON byte-for-byte against tests/golden/. Any
+# difference is a behavior change -- either a regression, or an intentional
+# change that must be re-blessed with tools/bless_goldens.sh.
+#
+# Blessed outputs are byte-exact within one builder image only: the pipeline
+# uses libm transcendentals, whose trailing digits can move across
+# toolchains (see DESIGN.md). Re-bless when the builder image changes.
+set -euo pipefail
+
+BIN=${1:?usage: golden_check.sh /path/to/harvest_sim /path/to/tests/golden}
+GOLDEN_DIR=${2:?golden dir}
+SCALE=0.05  # must match tools/bless_goldens.sh
+
+shopt -s nullglob
+goldens=("$GOLDEN_DIR"/*.json)
+if [ ${#goldens[@]} -eq 0 ]; then
+  echo "FAIL: no blessed results under $GOLDEN_DIR (run tools/bless_goldens.sh)" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+status=0
+for golden in "${goldens[@]}"; do
+  base=$(basename "$golden" .json)  # e.g. dc9_testbed.seed42
+  scenario=${base%.seed*}
+  seed=${base##*.seed}
+  "$BIN" --scenario="$scenario" --seed="$seed" --scale="$SCALE" --threads=2 \
+    --out="$tmp/$base.json" 2>/dev/null
+  if cmp -s "$golden" "$tmp/$base.json"; then
+    echo "OK: $base matches blessed results"
+  else
+    echo "FAIL: $base differs from blessed $golden" >&2
+    echo "      (diff it; if the change is intentional, run tools/bless_goldens.sh)" >&2
+    status=1
+  fi
+done
+exit $status

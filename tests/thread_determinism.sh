@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Enforces the driver's threading determinism contract: for every registered
+# scenario, the JSON document is byte-identical across --threads=1, 2 and 8
+# at a fixed (seed, scale). Registered with CTest as
+# harvest_sim_thread_determinism.
+set -euo pipefail
+
+BIN=${1:?usage: thread_determinism.sh /path/to/harvest_sim [scale] [seed]}
+SCALE=${2:-0.05}
+SEED=${3:-42}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+status=0
+for scenario in $("$BIN" --list-names); do
+  "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" --threads=1 \
+    --out="$tmp/ref.json" 2>/dev/null
+  for threads in 2 8; do
+    "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" --threads="$threads" \
+      --out="$tmp/threads$threads.json" 2>/dev/null
+    if cmp -s "$tmp/ref.json" "$tmp/threads$threads.json"; then
+      echo "OK: $scenario --threads=$threads matches --threads=1"
+    else
+      echo "FAIL: $scenario output differs between --threads=1 and --threads=$threads" >&2
+      status=1
+    fi
+  done
+done
+exit $status
