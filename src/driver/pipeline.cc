@@ -1,6 +1,7 @@
 #include "src/driver/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -11,26 +12,55 @@
 #include "src/util/logging.h"
 
 namespace harvest {
+namespace {
+
+// Wall-clock seconds of one stage call; stored next to the stage's result so
+// every run carries its own perf trajectory (tools/perf_sched.sh reads it).
+template <typename Fn>
+auto Timed(double& seconds_out, Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = fn();
+  seconds_out = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+}  // namespace
+
+void ClearTimingForDiff(ScenarioResult& result) {
+  result.timing = RunTiming{};
+  for (DatacenterResult& dc : result.datacenters) {
+    dc.timing = DcStageTiming{};
+  }
+}
 
 DatacenterResult RunDatacenterStages(const DcContext& ctx) {
+  auto dc_start = std::chrono::steady_clock::now();
   DatacenterResult dc;
   dc.name = ctx.label;
-  FleetBuildOutput fleet = RunFleetBuildStage(ctx);
+  FleetBuildOutput fleet =
+      Timed(dc.timing.fleet_build_seconds, [&] { return RunFleetBuildStage(ctx); });
   dc.fleet = fleet.stats;
-  dc.clustering = RunClusteringStage(ctx, fleet.cluster);
+  dc.clustering =
+      Timed(dc.timing.clustering_seconds, [&] { return RunClusteringStage(ctx, fleet.cluster); });
   if (ctx.config->run_scheduling) {
     dc.has_scheduling = true;
-    dc.scheduling = RunSchedulingStage(ctx, fleet.cluster);
+    dc.scheduling = Timed(dc.timing.scheduling_seconds,
+                          [&] { return RunSchedulingStage(ctx, fleet.cluster); });
   }
-  dc.placement = RunPlacementAuditStage(ctx, fleet.cluster);
+  dc.placement = Timed(dc.timing.placement_seconds,
+                       [&] { return RunPlacementAuditStage(ctx, fleet.cluster); });
   if (ctx.config->run_durability) {
     dc.has_durability = true;
-    dc.durability = RunDurabilityStage(ctx, fleet.cluster);
+    dc.durability = Timed(dc.timing.durability_seconds,
+                          [&] { return RunDurabilityStage(ctx, fleet.cluster); });
   }
   if (ctx.config->run_availability) {
     dc.has_availability = true;
-    dc.availability = RunAvailabilityStage(ctx, fleet.cluster);
+    dc.availability = Timed(dc.timing.availability_seconds,
+                            [&] { return RunAvailabilityStage(ctx, fleet.cluster); });
   }
+  dc.timing.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - dc_start).count();
   return dc;
 }
 
@@ -96,16 +126,27 @@ ScenarioRunResult RunScenario(const ScenarioConfig& base_config,
   run.result.datacenters.resize(labels.size());
 
   const int threads = options.threads > 0 ? options.threads : DefaultDriverThreads();
+  // Split the thread budget: the per-DC loop soaks up min(threads, DCs)
+  // workers, and whatever headroom remains per DC goes to intra-DC task
+  // parallelism (the PT / H co-simulations). A single-DC scenario therefore
+  // still benefits from --threads.
+  const int dc_count = static_cast<int>(labels.size());
+  const int task_threads = std::max(1, threads / std::max(1, dc_count));
+  auto run_start = std::chrono::steady_clock::now();
   ScenarioResult& result = run.result;
-  ParallelForIndex(threads, static_cast<int>(labels.size()), [&](int i) {
+  ParallelForIndex(threads, dc_count, [&](int i) {
     DcContext ctx;
     ctx.config = &config;
     ctx.label = labels[static_cast<size_t>(i)];
     ctx.dc_index = i;
     ctx.dc_seed = DeriveDcSeed(options.seed, i);
     ctx.suite = &suite;
+    ctx.task_threads = task_threads;
     result.datacenters[static_cast<size_t>(i)] = RunDatacenterStages(ctx);
   });
+  result.timing.threads = threads;
+  result.timing.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
 
   run.summary = SummarizeScenario(run.result);
   run.json = RenderScenarioJson(run.result);

@@ -2,6 +2,9 @@
 // primary-aware baseline on the same (optionally root-scaled) fleet, plus
 // the per-class diagnostics that drive the ranking-weight investigation.
 
+#include <algorithm>
+
+#include "src/driver/executor.h"
 #include "src/driver/stage.h"
 #include "src/experiments/cluster_scaling.h"
 #include "src/experiments/scheduling_sim.h"
@@ -47,10 +50,21 @@ SchedulingStageResult RunSchedulingStage(const DcContext& ctx, const Cluster& cl
   options.thresholds.long_above *= config.job_duration_factor;
   options.seed = ctx.StreamSeed("scheduling");
 
-  options.mode = SchedulerMode::kPrimaryAware;
-  SchedulingSimResult baseline = RunSchedulingSimulation(*sim_cluster, *ctx.suite, options);
-  options.mode = SchedulerMode::kHistory;
-  SchedulingSimResult history = RunSchedulingSimulation(*sim_cluster, *ctx.suite, options);
+  // The PT and H co-simulations are independent: each builds its own RNG
+  // from the same stream seed, reads the (const) cluster and suite, and
+  // writes its own result slot. Run them as two tasks on the deterministic
+  // executor so a single-DC scenario still benefits from --threads; with a
+  // task budget of 1 this degrades to the historical serial loop. Either
+  // way the results are byte-identical.
+  const SchedulerMode modes[2] = {SchedulerMode::kPrimaryAware, SchedulerMode::kHistory};
+  SchedulingSimResult runs[2];
+  ParallelForIndex(std::min(ctx.task_threads, 2), 2, [&](int i) {
+    SchedulingSimOptions task_options = options;
+    task_options.mode = modes[i];
+    runs[i] = RunSchedulingSimulation(*sim_cluster, *ctx.suite, task_options);
+  });
+  SchedulingSimResult& baseline = runs[0];
+  SchedulingSimResult& history = runs[1];
 
   SchedulingStageResult result;
   result.horizon_seconds = options.horizon_seconds;

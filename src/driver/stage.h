@@ -59,6 +59,13 @@ struct DcContext {
   // The shared TPC-DS suite (label-independent by design: every datacenter
   // runs the same 52 queries). Null when scheduling is disabled.
   const std::vector<JobDag>* suite = nullptr;
+  // Worker threads this DC's stages may use for *intra*-DC task parallelism
+  // (the independent PT and H scheduling co-simulations). The driver divides
+  // its --threads budget across the DCs in flight; 1 = run stage tasks
+  // serially. Purely an execution-layout knob: results are byte-identical
+  // for any value, because the parallel tasks draw from separate RNGs and
+  // write separate result slots.
+  int task_threads = 1;
 
   // The RNG stream for one stage of this datacenter.
   uint64_t StreamSeed(std::string_view stage_tag) const {
@@ -196,6 +203,20 @@ AvailabilityStageResult RunAvailabilityStage(const DcContext& ctx, const Cluster
 
 // --- Composition ----------------------------------------------------------
 
+// Wall-clock seconds per stage of one datacenter's pipeline. Pure telemetry:
+// nothing downstream reads it, so results are unaffected. Rendered under the
+// JSON "timing" key, which every byte-diff (goldens, thread determinism)
+// strips or zeroes first.
+struct DcStageTiming {
+  double fleet_build_seconds = 0.0;
+  double clustering_seconds = 0.0;
+  double scheduling_seconds = 0.0;
+  double placement_seconds = 0.0;
+  double durability_seconds = 0.0;
+  double availability_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
 struct DatacenterResult {
   std::string name;
   FleetStageResult fleet;
@@ -207,6 +228,13 @@ struct DatacenterResult {
   DurabilityStageResult durability;
   bool has_availability = false;
   AvailabilityStageResult availability;
+  DcStageTiming timing;
+};
+
+// Whole-run timing telemetry (the top half of the JSON "timing" block).
+struct RunTiming {
+  int threads = 0;            // worker threads the per-DC loop used
+  double total_seconds = 0.0; // RunScenario wall time
 };
 
 // The whole run, typed. result_json.cc renders it; pipeline.cc summarizes it.
@@ -218,8 +246,13 @@ struct ScenarioResult {
   double scale = 1.0;
   // `--set key=value` overrides applied to the preset, for provenance.
   std::vector<std::string> overrides;
+  RunTiming timing;
   std::vector<DatacenterResult> datacenters;
 };
+
+// Zeroes every wall-clock field so two runs of the same (scenario, seed,
+// scale) can be byte-compared; timing is the only nondeterministic output.
+void ClearTimingForDiff(ScenarioResult& result);
 
 // Runs the stage sequence for one datacenter. Thread-safe for distinct
 // contexts: everything mutable is local.

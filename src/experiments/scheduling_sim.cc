@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <map>
+#include <set>
 #include <unordered_map>
 
 #include "src/core/utilization_clustering.h"
@@ -154,7 +156,7 @@ class SchedulingSimulation {
     job.am = std::make_unique<AppMaster>(id, dag, queue_.now());
     job.type = history_.TypeOf(dag->name());
     jobs_.emplace(id, std::move(job));
-    job_order_.push_back(id);
+    pending_.insert(id);  // a fresh AM always has pending root tasks
     if (options_.mode == SchedulerMode::kHistory) {
       SelectClasses(jobs_.at(id));
     }
@@ -197,7 +199,7 @@ class SchedulingSimulation {
     }
     ActiveJob& job = it->second;
     if (job.awaiting_classes) {
-      return;  // re-tried at the next tick
+      return;  // re-tried at the next tick (stays in pending_)
     }
     const double now = queue_.now();
     for (const TaskDemand& demand : job.am->RunnableTasks()) {
@@ -239,6 +241,16 @@ class SchedulingSimulation {
           OnTaskCompletion(cid);
         });
       }
+    }
+    // Keep the pending queue exact: a job is queued iff it still has
+    // unscheduled tasks in unlocked stages. TryScheduleJob only ever
+    // *shrinks* a job's pending demand, so during a RetryPendingJobs sweep
+    // this can erase the current element (iterator already advanced) but
+    // never inserts new ones ahead of it.
+    if (job.am->PendingTasks() > 0) {
+      pending_.insert(id);
+    } else {
+      pending_.erase(id);
     }
   }
 
@@ -294,24 +306,24 @@ class SchedulingSimulation {
     double execution = job.am->finish_time() - (job.start_time >= 0.0 ? job.start_time
                                                                       : job.am->arrival_time());
     history_.RecordRun(record.name, execution);
-    jobs_.erase(id);
-    job_order_.erase(std::remove(job_order_.begin(), job_order_.end(), id), job_order_.end());
+    pending_.erase(id);  // a finished job has no pending tasks, but be exact
+    jobs_.erase(id);     // ordered-map erase: O(log n), no vector compaction
   }
 
   void RetryPendingJobs() {
     cluster_full_hint_ = false;
-    // Arrival order (FIFO fairness). Stop early once an allocation attempt
-    // reports a full cluster -- all requests share one container shape here.
-    for (JobId id : std::vector<JobId>(job_order_.begin(), job_order_.end())) {
-      auto it = jobs_.find(id);
-      if (it == jobs_.end()) {
-        continue;
-      }
-      if (it->second.am->PendingTasks() > 0) {
-        TryScheduleJob(id);
-        if (cluster_full_hint_) {
-          break;
-        }
+    // Arrival order (FIFO fairness; job ids are issued in arrival order, so
+    // the ordered set already iterates oldest-first). Only jobs that
+    // actually have pending demand are visited -- completed and fully
+    // scheduled jobs never enter the sweep. Stop early once an allocation
+    // attempt reports a full cluster -- all requests share one container
+    // shape here.
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      JobId id = *it;
+      ++it;  // TryScheduleJob may erase `id` once its demand is satisfied
+      TryScheduleJob(id);
+      if (cluster_full_hint_) {
+        break;
       }
     }
   }
@@ -328,6 +340,7 @@ class SchedulingSimulation {
       RunningTask task = it->second;
       running_.erase(it);
       jobs_.at(task.job).am->OnTaskKilled(task.stage);
+      pending_.insert(task.job);  // the killed task returns to the pending pool
       ++window_kills_[container.server];
       UtilizationPattern pattern =
           cluster_.tenant(cluster_.server(container.server).tenant).true_pattern;
@@ -341,14 +354,12 @@ class SchedulingSimulation {
       }
     }
     // 2. H-mode jobs that could not pick classes -- or whose classes have no
-    // room left (nothing running, tasks pending) -- select again.
+    // room left (nothing running, tasks pending) -- select again. The map is
+    // keyed by JobId, which is issued in arrival order, so this iterates
+    // live jobs oldest-first like the retry sweep.
     if (options_.mode == SchedulerMode::kHistory) {
-      for (JobId id : job_order_) {
-        auto it = jobs_.find(id);
-        if (it == jobs_.end()) {
-          continue;
-        }
-        ActiveJob& job = it->second;
+      for (auto& [id, job] : jobs_) {
+        (void)id;
         bool starving = job.am->PendingTasks() > 0 && job.am->RunningTasks() == 0;
         if (job.awaiting_classes || starving) {
           SelectClasses(job);
@@ -370,6 +381,13 @@ class SchedulingSimulation {
   void LatencyWindow() {
     const double now = queue_.now();
     SummaryStats window;
+    // Interfering accesses are tracked cluster-wide; attribute them evenly,
+    // spreading the integer remainder over the first servers. (Plain
+    // truncated division loses the entire count at fleet scale: with more
+    // servers than interfering accesses every server rounds to 0.)
+    const int64_t num_servers = static_cast<int64_t>(cluster_.num_servers());
+    const int64_t interfering_base = window_interfering_ / num_servers;
+    const int64_t interfering_remainder = window_interfering_ % num_servers;
     for (size_t s = 0; s < cluster_.num_servers(); ++s) {
       const NodeManager& node = rm_.node(static_cast<ServerId>(s));
       double primary_load = cluster_.server(static_cast<ServerId>(s)).PrimaryUtilizationAt(now);
@@ -377,9 +395,8 @@ class SchedulingSimulation {
       if (auto it = window_kills_.find(static_cast<ServerId>(s)); it != window_kills_.end()) {
         kills = it->second;
       }
-      // Interfering accesses are tracked cluster-wide; attribute them evenly.
-      int interfering = static_cast<int>(window_interfering_ /
-                                         static_cast<int64_t>(cluster_.num_servers()));
+      int interfering = static_cast<int>(
+          interfering_base + (static_cast<int64_t>(s) < interfering_remainder ? 1 : 0));
       double p99 = latency_model_.ServerP99(primary_load, node.OvercommitCores(now),
                                             node.TotalUtilization(now), kills, interfering,
                                             rng_);
@@ -424,8 +441,16 @@ class SchedulingSimulation {
   std::unordered_map<int, size_t> class_index_by_id_;
   std::unique_ptr<ClassSelector> selector_;
   std::unique_ptr<NameNode> name_node_;
-  std::unordered_map<JobId, ActiveJob> jobs_;
-  std::vector<JobId> job_order_;
+  // Live jobs keyed by id. Ids are issued in arrival order, so the ordered
+  // map doubles as the FIFO arrival order the retry/starvation sweeps need;
+  // erasing a finished job is O(log n) with stable iterators (no dense
+  // vector to compact or copy).
+  std::map<JobId, ActiveJob> jobs_;
+  // Jobs with unscheduled tasks in unlocked stages, in arrival order: the
+  // retry queue. Woken by resource-release (task completion) and kill
+  // events; membership is maintained exactly at every transition, so a
+  // retry sweep touches only jobs that can actually make progress.
+  std::set<JobId> pending_;
   std::unordered_map<ContainerId, RunningTask> running_;
   std::unordered_map<ServerId, int> window_kills_;
   int64_t window_interfering_ = 0;

@@ -27,7 +27,7 @@ int NodeManager::ForecastPrimaryCores(double t, double window_seconds) const {
   double peak = 0.0;
   // Sample the previous day's window at slot granularity (plus one slot of
   // margin on each side for alignment).
-  int samples = static_cast<int>(window_seconds / kSlotSeconds) + 2;
+  int samples = ForecastSampleCount(window_seconds);
   for (int i = 0; i < samples; ++i) {
     peak = std::max(peak, server_->PrimaryUtilizationAt(history_start + i * kSlotSeconds));
   }
@@ -39,19 +39,30 @@ Resources NodeManager::AvailableForTask(double t, double window_seconds) const {
   if (mode_ == SchedulerMode::kStock) {
     return AvailableForSecondary(t);
   }
-  int primary_cores = std::max(PrimaryCores(t), ForecastPrimaryCores(t, window_seconds));
-  int primary_memory = primary_cores * (server_->capacity.memory_mb / server_->capacity.cores);
+  return AvailableForTaskGiven(PrimaryCores(t), ForecastPrimaryCores(t, window_seconds));
+}
+
+Resources NodeManager::AvailableForTaskGiven(int primary_cores, int forecast_cores) const {
+  if (mode_ == SchedulerMode::kStock) {
+    return AvailableForSecondaryGiven(primary_cores);
+  }
+  int discount_cores = std::max(primary_cores, forecast_cores);
+  int discount_memory =
+      discount_cores * (server_->capacity.memory_mb / server_->capacity.cores);
   Resources available = server_->capacity;
-  available -= Resources{primary_cores, primary_memory};
+  available -= Resources{discount_cores, discount_memory};
   available -= reserve_;
   available -= allocated_;
   return Resources{std::max(0, available.cores), std::max(0, available.memory_mb)};
 }
 
 Resources NodeManager::AvailableForSecondary(double t) const {
+  return AvailableForSecondaryGiven(mode_ == SchedulerMode::kStock ? 0 : PrimaryCores(t));
+}
+
+Resources NodeManager::AvailableForSecondaryGiven(int primary_cores) const {
   Resources available = server_->capacity;
   if (mode_ != SchedulerMode::kStock) {
-    int primary_cores = PrimaryCores(t);
     // Memory footprint of the primary is modeled as proportional to its core
     // usage; the reserve covers the remaining headroom it may burst into.
     int primary_memory =

@@ -42,9 +42,24 @@ class NodeManager {
   // usage and the forecast. Falls back to live-only in Stock mode.
   Resources AvailableForTask(double t, double window_seconds) const;
 
+  // Cached-input variants for the ResourceManager's incremental accounting:
+  // the same arithmetic as AvailableForSecondary / AvailableForTask with the
+  // trace-dependent inputs (live primary cores, forecast cores) supplied by
+  // the caller. Both entry points share one implementation, which is what
+  // keeps the RM's per-slot caches bit-identical to direct recomputation.
+  Resources AvailableForSecondaryGiven(int primary_cores) const;
+  Resources AvailableForTaskGiven(int primary_cores, int forecast_cores) const;
+
   // Forecast primary cores over [t, t + window] based on the previous day's
   // telemetry, rounded up like the live reporting.
   int ForecastPrimaryCores(double t, double window_seconds) const;
+
+  // Number of telemetry samples ForecastPrimaryCores inspects for a window.
+  // Two windows with the same sample count yield identical forecasts; the
+  // RM keys its forecast cache on this.
+  static int ForecastSampleCount(double window_seconds) {
+    return static_cast<int>(window_seconds / kSlotSeconds) + 2;
+  }
 
   // Historical statistics of the primary tenant on this server (whole-trace
   // aggregates, in cores, rounded up like the live reporting).

@@ -1,10 +1,28 @@
 #include "src/scheduler/resource_manager.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/util/logging.h"
 
 namespace harvest {
+namespace {
+
+// YARN-H weighting (paper G3): a server whose history says the task will
+// survive gets a strong bonus on top of live-room balancing; servers without
+// type headroom stay usable, balanced by live room, so saturation does not
+// flatten placement. Integer on purpose: the historical dense scan used
+// 50.0, and keeping every weight integer-valued is what makes the Fenwick
+// sampler's arithmetic exact (src/util/weighted_picker.h).
+constexpr int64_t kTypeRoomBonus = 50;
+
+// RM-H forecast floor: jobs occupy their servers well beyond one task (stage
+// chains, re-requests), and diurnal ramps move about one core per hour, so
+// the forecast must look hours ahead to tell an ascending server from a
+// descending one.
+constexpr double kMinForecastWindowSeconds = 3.0 * 3600.0;
+
+}  // namespace
 
 const char* SchedulerModeName(SchedulerMode mode) {
   switch (mode) {
@@ -24,12 +42,8 @@ ResourceManager::ResourceManager(const Cluster* cluster, SchedulerMode mode, Res
   for (const auto& server : cluster->servers()) {
     nodes_.emplace_back(&server, reserve, mode);
   }
-  server_class_.assign(cluster->num_servers(), 0);
-  class_servers_.assign(1, {});
-  for (const auto& server : cluster->servers()) {
-    class_servers_[0].push_back(server.id);
-  }
-  num_classes_ = 1;
+  std::vector<int> server_class(cluster->num_servers(), 0);
+  SetServerClasses(std::move(server_class));
 }
 
 void ResourceManager::SetServerClasses(std::vector<int> server_class) {
@@ -41,11 +55,124 @@ void ResourceManager::SetServerClasses(std::vector<int> server_class) {
     num_classes_ = std::max(num_classes_, c + 1);
   }
   class_servers_.assign(static_cast<size_t>(num_classes_), {});
+  class_pos_.assign(nodes_.size(), 0);
   for (ServerId s = 0; s < static_cast<ServerId>(server_class_.size()); ++s) {
     int c = server_class_[static_cast<size_t>(s)];
     if (c >= 0) {
+      class_pos_[static_cast<size_t>(s)] = class_servers_[static_cast<size_t>(c)].size();
       class_servers_[static_cast<size_t>(c)].push_back(s);
     }
+  }
+  node_primary_cores_.assign(nodes_.size(), 0);
+  node_forecast_cores_.assign(nodes_.size(), 0);
+  node_avail_.assign(nodes_.size(), Resources{0, 0});
+  node_weight_.assign(nodes_.size(), 0);
+  class_pickers_.assign(static_cast<size_t>(num_classes_), WeightedPicker());
+  class_avail_cores_.assign(static_cast<size_t>(num_classes_), 0);
+  class_util_slot_.assign(static_cast<size_t>(num_classes_), kNoSlot);
+  class_util_value_.assign(static_cast<size_t>(num_classes_), 1.0);
+  cached_slot_ = kNoSlot;  // force a full rebuild on next use
+}
+
+void ResourceManager::EnsureSlot(double t) const {
+  int64_t slot = static_cast<int64_t>(std::floor(t / kSlotSeconds));
+  if (slot == cached_slot_) {
+    return;
+  }
+  cached_slot_ = slot;
+  cache_time_ = t;
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    node_primary_cores_[s] = nodes_[s].PrimaryCores(t);
+  }
+  if (profile_.valid && profile_.history_aware) {
+    RefreshForecasts();
+  }
+  RebuildAvailabilityAndWeights();
+}
+
+void ResourceManager::RefreshForecasts() const {
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    node_forecast_cores_[s] =
+        nodes_[s].ForecastPrimaryCores(cache_time_, profile_.window_seconds);
+  }
+}
+
+int64_t ResourceManager::NodeWeight(ServerId s) const {
+  const size_t i = static_cast<size_t>(s);
+  const Resources& avail = node_avail_[i];
+  if (!avail.Fits(profile_.shape)) {
+    return 0;
+  }
+  int64_t weight = avail.cores;
+  if (profile_.history_aware) {
+    weight += kTypeRoomBonus *
+              nodes_[i]
+                  .AvailableForTaskGiven(node_primary_cores_[i], node_forecast_cores_[i])
+                  .cores;
+  }
+  return weight;
+}
+
+void ResourceManager::RebuildAvailabilityAndWeights() const {
+  std::fill(class_avail_cores_.begin(), class_avail_cores_.end(), 0);
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    node_avail_[s] = nodes_[s].AvailableForSecondaryGiven(node_primary_cores_[s]);
+    int c = server_class_[s];
+    if (c >= 0 && c < num_classes_) {
+      class_avail_cores_[static_cast<size_t>(c)] += node_avail_[s].cores;
+    }
+    node_weight_[s] = profile_.valid ? NodeWeight(static_cast<ServerId>(s)) : 0;
+  }
+  all_servers_picker_.Build(node_weight_);
+  std::vector<int64_t> scratch;
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto& servers = class_servers_[static_cast<size_t>(c)];
+    scratch.assign(servers.size(), 0);
+    for (size_t i = 0; i < servers.size(); ++i) {
+      scratch[i] = node_weight_[static_cast<size_t>(servers[i])];
+    }
+    class_pickers_[static_cast<size_t>(c)].Build(scratch);
+  }
+}
+
+void ResourceManager::EnsureProfile(const ContainerRequest& request) {
+  const bool history = request.history_aware;
+  const double window =
+      history ? std::max(request.task_seconds, kMinForecastWindowSeconds) : 0.0;
+  const int samples = history ? NodeManager::ForecastSampleCount(window) : 0;
+  if (profile_.valid && profile_.shape == request.resources &&
+      profile_.history_aware == history && profile_.forecast_samples == samples) {
+    return;
+  }
+  profile_.shape = request.resources;
+  profile_.history_aware = history;
+  profile_.forecast_samples = samples;
+  profile_.window_seconds = window;
+  profile_.valid = true;
+  if (history) {
+    RefreshForecasts();
+  }
+  RebuildAvailabilityAndWeights();
+}
+
+void ResourceManager::ResyncNode(ServerId s) {
+  if (cached_slot_ == kNoSlot) {
+    return;  // nothing cached yet; the next EnsureSlot rebuilds everything
+  }
+  const size_t i = static_cast<size_t>(s);
+  Resources avail = nodes_[i].AvailableForSecondaryGiven(node_primary_cores_[i]);
+  int c = server_class_[i];
+  if (c >= 0 && c < num_classes_) {
+    class_avail_cores_[static_cast<size_t>(c)] += avail.cores - node_avail_[i].cores;
+  }
+  node_avail_[i] = avail;
+  if (profile_.valid) {
+    int64_t weight = NodeWeight(s);
+    all_servers_picker_.Update(i, node_weight_[i], weight);
+    if (c >= 0 && c < num_classes_) {
+      class_pickers_[static_cast<size_t>(c)].Update(class_pos_[i], node_weight_[i], weight);
+    }
+    node_weight_[i] = weight;
   }
 }
 
@@ -55,63 +182,59 @@ std::vector<Container> ResourceManager::Allocate(const ContainerRequest& request
   if (request.count <= 0) {
     return placed;
   }
+  EnsureSlot(t);
+  EnsureProfile(request);
 
-  // Candidate servers: the label disjunction, or every server when no label
-  // was named (RM default policy).
-  std::vector<ServerId> candidates;
+  // Candidate segments: the label disjunction in request order, or every
+  // server when no label was named (RM default policy). Each segment is a
+  // persistent Fenwick sampler; segment order reproduces the order the dense
+  // scan used to concatenate candidate lists in.
+  std::vector<const WeightedPicker*> segments;
+  std::vector<int> segment_class;  // -1 = all-servers segment
   if (request.allowed_classes.empty()) {
-    candidates.reserve(nodes_.size());
-    for (ServerId s = 0; s < static_cast<ServerId>(nodes_.size()); ++s) {
-      candidates.push_back(s);
-    }
+    segments.push_back(&all_servers_picker_);
+    segment_class.push_back(-1);
   } else {
     for (int c : request.allowed_classes) {
       if (c >= 0 && c < num_classes_) {
-        const auto& servers = class_servers_[static_cast<size_t>(c)];
-        candidates.insert(candidates.end(), servers.begin(), servers.end());
+        segments.push_back(&class_pickers_[static_cast<size_t>(c)]);
+        segment_class.push_back(c);
       }
     }
   }
 
-  // Snapshot availability once per request batch; decremented locally as
-  // containers are placed so one batch self-balances. The *fit* check is
-  // always live availability (a container can start wherever there is room
-  // right now); YARN-H additionally *weights* servers by type-aware headroom
-  // (paper G3: prefer servers whose history says the resources will stay
-  // free for the task's duration), falling back to a token weight so the
-  // cluster's full capacity remains usable under pressure.
-  // A server whose history says the task will survive gets a strong bonus on
-  // top of live-room balancing; servers without type headroom stay usable,
-  // balanced by live room, so saturation does not flatten placement.
-  constexpr double kTypeRoomBonus = 50.0;
-  std::vector<double> weights(candidates.size(), 0.0);
-  std::vector<Resources> room(candidates.size());
-  std::vector<int> type_cores(candidates.size(), 0);
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    const NodeManager& node = nodes_[static_cast<size_t>(candidates[i])];
-    room[i] = node.AvailableForSecondary(t);
-    if (request.history_aware) {
-      // Jobs occupy their servers well beyond one task (stage chains,
-      // re-requests), and diurnal ramps move about one core per hour, so the
-      // forecast must look hours ahead to tell an ascending server from a
-      // descending one. Floor the window at a ramp-scale horizon.
-      constexpr double kMinForecastWindowSeconds = 3.0 * 3600.0;
-      double window = std::max(request.task_seconds, kMinForecastWindowSeconds);
-      type_cores[i] = node.AvailableForTask(t, window).cores;
-    }
-    if (room[i].Fits(request.resources)) {
-      weights[i] = static_cast<double>(room[i].cores) +
-                   (request.history_aware ? kTypeRoomBonus * type_cores[i] : 0.0);
-    }
-  }
-
+  // Each draw consumes exactly one NextDouble() iff some weight is positive,
+  // matching Rng::WeightedIndex on the dense candidate vector bit for bit
+  // (weights are integers, so every comparison below is exact arithmetic;
+  // see src/util/weighted_picker.h).
   for (int n = 0; n < request.count; ++n) {
-    int pick = rng.WeightedIndex(weights);
-    if (pick < 0) {
-      break;  // nothing fits; caller queues the remainder
+    int64_t grand_total = 0;
+    for (const WeightedPicker* segment : segments) {
+      grand_total += segment->Total();
     }
-    size_t idx = static_cast<size_t>(pick);
-    ServerId server = candidates[idx];
+    if (grand_total <= 0) {
+      break;  // nothing fits; caller queues the remainder (no RNG consumed)
+    }
+    double point = rng.NextDouble() * static_cast<double>(grand_total);
+    ServerId server = kInvalidServer;
+    for (size_t g = 0; g < segments.size(); ++g) {
+      const WeightedPicker& segment = *segments[g];
+      double segment_total = static_cast<double>(segment.Total());
+      // point == 0 (NextDouble() drew 0.0) selects the first positive
+      // weight overall, exactly like the dense subtraction scan.
+      bool in_segment = point <= 0.0 ? segment.Total() > 0 : point <= segment_total;
+      if (in_segment) {
+        size_t index = segment.LowerBound(point > 0.0 ? point : 0.5);
+        server = segment_class[g] < 0
+                     ? static_cast<ServerId>(index)
+                     : class_servers_[static_cast<size_t>(segment_class[g])][index];
+        break;
+      }
+      point -= segment_total;
+    }
+    HARVEST_CHECK(server != kInvalidServer) << "weighted draw failed with total "
+                                            << grand_total;
+
     Container container;
     container.id = next_container_id_++;
     container.job = request.job;
@@ -120,15 +243,7 @@ std::vector<Container> ResourceManager::Allocate(const ContainerRequest& request
     container.start_time = t;
     nodes_[static_cast<size_t>(server)].AddContainer(container);
     placed.push_back(container);
-
-    room[idx] -= request.resources;
-    type_cores[idx] = std::max(0, type_cores[idx] - request.resources.cores);
-    if (!room[idx].Fits(request.resources)) {
-      weights[idx] = 0.0;
-    } else {
-      weights[idx] = static_cast<double>(room[idx].cores) +
-                     (request.history_aware ? kTypeRoomBonus * type_cores[idx] : 0.0);
-    }
+    ResyncNode(server);
   }
   return placed;
 }
@@ -137,16 +252,22 @@ void ResourceManager::Release(const Container& container) {
   bool removed = nodes_[static_cast<size_t>(container.server)].RemoveContainer(container.id);
   HARVEST_CHECK(removed) << "released container " << container.id << " not found on server "
                          << container.server;
+  ResyncNode(container.server);
 }
 
 std::vector<Container> ResourceManager::EnforceReserves(double t) {
+  EnsureSlot(t);
   std::vector<Container> killed;
-  for (auto& node : nodes_) {
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    NodeManager& node = nodes_[s];
     if (node.idle()) {
       continue;
     }
     std::vector<Container> k = node.EnforceReserve(t);
-    killed.insert(killed.end(), k.begin(), k.end());
+    if (!k.empty()) {
+      ResyncNode(static_cast<ServerId>(s));
+      killed.insert(killed.end(), k.begin(), k.end());
+    }
   }
   total_kills_ += static_cast<int64_t>(killed.size());
   return killed;
@@ -160,22 +281,28 @@ double ResourceManager::ClassCurrentUtilization(int class_id, double t) const {
   if (servers.empty()) {
     return 1.0;
   }
-  double sum = 0.0;
-  for (ServerId s : servers) {
-    sum += cluster_->server(s).PrimaryUtilizationAt(t);
+  EnsureSlot(t);
+  const size_t c = static_cast<size_t>(class_id);
+  if (class_util_slot_[c] != cached_slot_) {
+    // Once per class per telemetry slot: the primary traces are piecewise-
+    // constant at kSlotSeconds granularity, so every query in a slot sees
+    // the same mean (same terms, same summation order).
+    double sum = 0.0;
+    for (ServerId s : servers) {
+      sum += cluster_->server(s).PrimaryUtilizationAt(t);
+    }
+    class_util_value_[c] = sum / static_cast<double>(servers.size());
+    class_util_slot_[c] = cached_slot_;
   }
-  return sum / static_cast<double>(servers.size());
+  return class_util_value_[c];
 }
 
 int ResourceManager::ClassAvailableCores(int class_id, double t) const {
   if (class_id < 0 || class_id >= num_classes_) {
     return 0;
   }
-  int total = 0;
-  for (ServerId s : class_servers_[static_cast<size_t>(class_id)]) {
-    total += nodes_[static_cast<size_t>(s)].AvailableForSecondary(t).cores;
-  }
-  return total;
+  EnsureSlot(t);
+  return static_cast<int>(class_avail_cores_[static_cast<size_t>(class_id)]);
 }
 
 double ResourceManager::AverageTotalUtilization(double t) const {
@@ -187,6 +314,90 @@ double ResourceManager::AverageTotalUtilization(double t) const {
     sum += node.TotalUtilization(t);
   }
   return sum / static_cast<double>(nodes_.size());
+}
+
+bool ResourceManager::AuditCachesForTest(std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  if (cached_slot_ == kNoSlot) {
+    return true;  // nothing cached yet
+  }
+  const double t = cache_time_;
+  int64_t weight_total = 0;
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    const NodeManager& node = nodes_[s];
+    const std::string at = " for server " + std::to_string(s);
+    if (node.PrimaryCores(t) != node_primary_cores_[s]) {
+      return fail("stale primary cores" + at);
+    }
+    if (node.AvailableForSecondary(t) != node_avail_[s]) {
+      return fail("stale availability" + at);
+    }
+    if (!profile_.valid) {
+      continue;
+    }
+    if (profile_.history_aware &&
+        node.ForecastPrimaryCores(t, profile_.window_seconds) != node_forecast_cores_[s]) {
+      return fail("stale forecast" + at);
+    }
+    // The historical dense formula, recomputed from scratch.
+    int64_t expected = 0;
+    Resources room = node.AvailableForSecondary(t);
+    if (room.Fits(profile_.shape)) {
+      expected = room.cores;
+      if (profile_.history_aware) {
+        expected += kTypeRoomBonus * node.AvailableForTask(t, profile_.window_seconds).cores;
+      }
+    }
+    if (expected != node_weight_[s]) {
+      return fail("stale weight" + at);
+    }
+    if (all_servers_picker_.PrefixSum(s + 1) - all_servers_picker_.PrefixSum(s) != expected) {
+      return fail("global Fenwick out of sync" + at);
+    }
+    weight_total += expected;
+  }
+  if (profile_.valid && all_servers_picker_.Total() != weight_total) {
+    return fail("global Fenwick total mismatch");
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto& servers = class_servers_[static_cast<size_t>(c)];
+    const WeightedPicker& picker = class_pickers_[static_cast<size_t>(c)];
+    const std::string at = " for class " + std::to_string(c);
+    int64_t cores = 0;
+    int64_t class_weight = 0;
+    for (size_t i = 0; i < servers.size(); ++i) {
+      const size_t s = static_cast<size_t>(servers[i]);
+      cores += nodes_[s].AvailableForSecondary(t).cores;
+      if (profile_.valid) {
+        if (picker.PrefixSum(i + 1) - picker.PrefixSum(i) != node_weight_[s]) {
+          return fail("class Fenwick out of sync" + at);
+        }
+        class_weight += node_weight_[s];
+      }
+    }
+    if (cores != class_avail_cores_[static_cast<size_t>(c)]) {
+      return fail("class available-cores aggregate mismatch" + at);
+    }
+    if (profile_.valid && picker.Total() != class_weight) {
+      return fail("class Fenwick total mismatch" + at);
+    }
+    if (class_util_slot_[static_cast<size_t>(c)] == cached_slot_ && !servers.empty()) {
+      double sum = 0.0;
+      for (ServerId s : servers) {
+        sum += cluster_->server(s).PrimaryUtilizationAt(t);
+      }
+      if (sum / static_cast<double>(servers.size()) !=
+          class_util_value_[static_cast<size_t>(c)]) {
+        return fail("class utilization cache mismatch" + at);
+      }
+    }
+  }
+  return true;
 }
 
 }  // namespace harvest

@@ -3,16 +3,36 @@
 // matches container requests against node labels (utilization classes), and
 // balances load by choosing among eligible servers with probability
 // proportional to their available resources.
+//
+// Scaling: the RM keeps *incremental* accounting so the co-simulation hot
+// path is sublinear in fleet size. Per-node availability, the history
+// forecast, and the placement weight are cached per telemetry slot (primary
+// usage is piecewise-constant at kSlotSeconds granularity) and resynced on
+// container add / remove / reserve kills; per-class availability is a running
+// aggregate; and placement draws sample a Fenwick tree (O(log n)) instead of
+// scanning a dense weight vector (O(n)). The cached path consumes the RNG
+// identically to the historical dense scan -- same draws, same picks -- so
+// simulation results are byte-identical (see src/util/weighted_picker.h for
+// the exactness argument, and tests/rm_oracle_test.cc for the oracle that
+// checks every cached quantity against a naive full rescan).
+//
+// Not thread-safe: one RM belongs to one simulation thread. Callers must not
+// mutate NodeManagers behind the RM's back (use Allocate / Release /
+// EnforceReserves), or the caches desynchronize.
 
 #ifndef HARVEST_SRC_SCHEDULER_RESOURCE_MANAGER_H_
 #define HARVEST_SRC_SCHEDULER_RESOURCE_MANAGER_H_
 
+#include <cstdint>
+#include <limits>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/scheduler/container.h"
 #include "src/scheduler/node_manager.h"
 #include "src/util/rng.h"
+#include "src/util/weighted_picker.h"
 
 namespace harvest {
 
@@ -38,10 +58,17 @@ class ResourceManager {
   std::vector<Container> EnforceReserves(double t);
 
   // Aggregate state of one utilization class, for Algorithm 1. `class_id`
-  // must match SetServerClasses ids.
+  // must match SetServerClasses ids. Served from per-slot / running
+  // aggregates; logically const, hence the mutable caches.
   double ClassCurrentUtilization(int class_id, double t) const;
   int ClassAvailableCores(int class_id, double t) const;
   int NumClasses() const { return num_classes_; }
+
+  // The servers of one class, in the stable order candidate lists are built
+  // in (exposed for the cache-oracle test).
+  const std::vector<ServerId>& ClassServers(int class_id) const {
+    return class_servers_[static_cast<size_t>(class_id)];
+  }
 
   NodeManager& node(ServerId id) { return nodes_[static_cast<size_t>(id)]; }
   const NodeManager& node(ServerId id) const { return nodes_[static_cast<size_t>(id)]; }
@@ -53,15 +80,74 @@ class ResourceManager {
 
   int64_t total_kills() const { return total_kills_; }
 
+  // Test hook: recomputes every cached quantity (per-node availability,
+  // forecasts, weights, per-class aggregates, Fenwick totals) by naive full
+  // rescan at the cached slot's timestamp and compares exactly. Returns
+  // false and fills `error` on the first mismatch.
+  bool AuditCachesForTest(std::string* error) const;
+
  private:
+  // The weight function of one Allocate call: container shape, whether the
+  // history bonus applies, and the forecast-window sample count it implies.
+  // All requests of one co-simulation share a profile, so the weights and
+  // Fenwick trees persist across calls and profile switches are rare.
+  struct PlacementProfile {
+    Resources shape{0, 0};
+    bool history_aware = false;
+    int forecast_samples = 0;      // 0 unless history_aware
+    double window_seconds = 0.0;   // representative window for the samples
+    bool valid = false;
+  };
+
+  static constexpr int64_t kNoSlot = std::numeric_limits<int64_t>::min();
+
+  // Refreshes the per-slot caches (primary cores, forecasts, availability,
+  // weights, class aggregates) when `t` falls in a different telemetry slot
+  // than the cached one.
+  void EnsureSlot(double t) const;
+  // Rebuilds forecast + weight caches if `request` implies a different
+  // weight profile than the cached one. Requires a fresh slot.
+  void EnsureProfile(const ContainerRequest& request);
+  // Recomputes every node's forecast for the cached profile (history mode).
+  void RefreshForecasts() const;
+  // Recomputes per-node availability + class aggregates from cached primary
+  // cores, and (when a profile is cached) all weights + Fenwick trees.
+  void RebuildAvailabilityAndWeights() const;
+  // Placement weight of server `s` from its cached inputs and live
+  // allocations. Zero when the profile's shape does not fit.
+  int64_t NodeWeight(ServerId s) const;
+  // Resyncs one node's cached availability / weight after its allocations
+  // changed (container add / remove / reserve kill).
+  void ResyncNode(ServerId s);
+
   const Cluster* cluster_;
   SchedulerMode mode_;
   std::vector<NodeManager> nodes_;
   std::vector<int> server_class_;
   std::vector<std::vector<ServerId>> class_servers_;
+  // Position of each server inside its class list (Fenwick index).
+  std::vector<size_t> class_pos_;
   int num_classes_ = 0;
   ContainerId next_container_id_ = 1;
   int64_t total_kills_ = 0;
+
+  // --- Per-slot caches (mutable: const queries refresh them lazily) -------
+  mutable int64_t cached_slot_ = kNoSlot;
+  mutable double cache_time_ = 0.0;  // the timestamp the caches were built at
+  PlacementProfile profile_;
+  mutable std::vector<int> node_primary_cores_;
+  mutable std::vector<int> node_forecast_cores_;
+  mutable std::vector<Resources> node_avail_;
+  mutable std::vector<int64_t> node_weight_;
+  // Placement samplers: all servers in ServerId order (label-free requests)
+  // and one per class in class-list order (labeled requests).
+  mutable WeightedPicker all_servers_picker_;
+  mutable std::vector<WeightedPicker> class_pickers_;
+  // Running aggregate: sum of cached available cores per class.
+  mutable std::vector<int64_t> class_avail_cores_;
+  // Per-class mean primary utilization, computed once per slot on demand.
+  mutable std::vector<int64_t> class_util_slot_;
+  mutable std::vector<double> class_util_value_;
 };
 
 }  // namespace harvest

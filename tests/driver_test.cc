@@ -259,8 +259,17 @@ TEST(ResultJsonTest, RendersOverridesAndTopLevelFields) {
   EXPECT_NE(json.find("\"datacenters\": []"), std::string::npos);
 }
 
+// Renders a run's JSON with all wall-clock telemetry zeroed: the "timing"
+// block is the only intentionally nondeterministic output, so byte
+// comparisons go through this.
+std::string JsonWithoutTiming(ScenarioRunResult run) {
+  ClearTimingForDiff(run.result);
+  return RenderScenarioJson(run.result);
+}
+
 // The driver's core contract: one (scenario, seed, scale) triple produces
-// byte-identical JSON across runs, so results can be diffed by CI.
+// byte-identical JSON across runs (modulo the wall-clock "timing" block),
+// so results can be diffed by CI.
 TEST(DriverPipelineTest, SameScenarioAndSeedProduceIdenticalJson) {
   const ScenarioConfig* scenario = FindScenario("dc9_testbed");
   ASSERT_NE(scenario, nullptr);
@@ -269,7 +278,7 @@ TEST(DriverPipelineTest, SameScenarioAndSeedProduceIdenticalJson) {
   options.scale = 0.2;
   ScenarioRunResult first = RunScenario(*scenario, options);
   ScenarioRunResult second = RunScenario(*scenario, options);
-  EXPECT_EQ(first.json, second.json);
+  EXPECT_EQ(JsonWithoutTiming(first), JsonWithoutTiming(second));
   EXPECT_FALSE(first.json.empty());
   // The run exercised every stage of the pipeline.
   EXPECT_NE(first.json.find("\"clustering\""), std::string::npos);
@@ -306,7 +315,9 @@ TEST(DriverPipelineTest, StormScenarioKeepsHistoryAtOrBelowStockLoss) {
 }
 
 // The threading determinism contract: the JSON document is byte-identical
-// for any worker-thread count, on every registered scenario.
+// (modulo timing telemetry) for any worker-thread count, on every registered
+// scenario. --threads=4 on a single-DC scenario also exercises the intra-DC
+// PT/H task split.
 TEST(DriverPipelineTest, ThreadCountNeverChangesJson) {
   for (const ScenarioConfig& scenario : AllScenarios()) {
     ScenarioRunOptions options;
@@ -316,9 +327,41 @@ TEST(DriverPipelineTest, ThreadCountNeverChangesJson) {
     ScenarioRunResult serial = RunScenario(scenario, options);
     options.threads = 4;
     ScenarioRunResult parallel = RunScenario(scenario, options);
-    EXPECT_EQ(serial.json, parallel.json) << "scenario " << scenario.name;
+    EXPECT_EQ(JsonWithoutTiming(serial), JsonWithoutTiming(parallel))
+        << "scenario " << scenario.name;
     EXPECT_FALSE(serial.json.empty());
   }
+}
+
+// Every run carries its own perf trajectory: the timing block is rendered,
+// populated for the stages that ran, and cleanly removable for diffs.
+TEST(DriverPipelineTest, TimingTelemetryIsRenderedAndStrippable) {
+  const ScenarioConfig* scenario = FindScenario("reimage_storm");
+  ASSERT_NE(scenario, nullptr);
+  ScenarioRunOptions options;
+  options.seed = 7;
+  options.scale = 0.05;
+  options.threads = 2;
+  ScenarioRunResult run = RunScenario(*scenario, options);
+  EXPECT_NE(run.json.find("\"timing\": {"), std::string::npos);
+  EXPECT_NE(run.json.find("\"fleet_build_seconds\""), std::string::npos);
+  EXPECT_EQ(run.result.timing.threads, 2);
+  EXPECT_GT(run.result.timing.total_seconds, 0.0);
+  ASSERT_EQ(run.result.datacenters.size(), 1u);
+  const DcStageTiming& timing = run.result.datacenters[0].timing;
+  EXPECT_GT(timing.total_seconds, 0.0);
+  EXPECT_GE(timing.fleet_build_seconds, 0.0);
+  EXPECT_GE(timing.durability_seconds, 0.0);
+  // Stage times are measured inside the DC's own wall time.
+  EXPECT_LE(timing.fleet_build_seconds + timing.clustering_seconds +
+                timing.scheduling_seconds + timing.placement_seconds +
+                timing.durability_seconds + timing.availability_seconds,
+            timing.total_seconds + 1e-6);
+  // Clearing the telemetry removes every timing byte from the rendering.
+  std::string stripped = JsonWithoutTiming(run);
+  EXPECT_NE(stripped.find("\"timing\": {"), std::string::npos);
+  EXPECT_NE(stripped.find("\"total_seconds\": 0"), std::string::npos);
+  EXPECT_EQ(stripped.find("\"threads\": 2"), std::string::npos);
 }
 
 TEST(DriverPipelineTest, TypedResultsMatchRenderedJsonAndSummary) {

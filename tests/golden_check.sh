@@ -23,13 +23,21 @@ fi
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+# Remove the top-level "timing" block (per-stage wall-clock telemetry) before
+# diffing: it is the one intentionally nondeterministic part of the output.
+STRIP=$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)/tools/strip_timing.sh
+strip_timing() {
+  bash "$STRIP" < "$1"
+}
+
 status=0
 for golden in "${goldens[@]}"; do
   base=$(basename "$golden" .json)  # e.g. dc9_testbed.seed42
   scenario=${base%.seed*}
   seed=${base##*.seed}
   "$BIN" --scenario="$scenario" --seed="$seed" --scale="$SCALE" --threads=2 \
-    --out="$tmp/$base.json" 2>/dev/null
+    --out="$tmp/$base.raw.json" 2>/dev/null
+  strip_timing "$tmp/$base.raw.json" > "$tmp/$base.json"
   if cmp -s "$golden" "$tmp/$base.json"; then
     echo "OK: $base matches blessed results"
   else

@@ -12,13 +12,23 @@ SEED=${3:-42}
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+# The "timing" block (wall-clock telemetry, including the thread count) is
+# the one part of the output that legitimately varies across runs; strip it
+# before comparing.
+STRIP=$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)/tools/strip_timing.sh
+strip_timing() {
+  bash "$STRIP" < "$1"
+}
+
 status=0
 for scenario in $("$BIN" --list-names); do
   "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" --threads=1 \
-    --out="$tmp/ref.json" 2>/dev/null
+    --out="$tmp/ref.raw.json" 2>/dev/null
+  strip_timing "$tmp/ref.raw.json" > "$tmp/ref.json"
   for threads in 2 8; do
     "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" --threads="$threads" \
-      --out="$tmp/threads$threads.json" 2>/dev/null
+      --out="$tmp/threads$threads.raw.json" 2>/dev/null
+    strip_timing "$tmp/threads$threads.raw.json" > "$tmp/threads$threads.json"
     if cmp -s "$tmp/ref.json" "$tmp/threads$threads.json"; then
       echo "OK: $scenario --threads=$threads matches --threads=1"
     else

@@ -13,9 +13,15 @@ SCALE=0.05  # must match tests/golden_check.sh
 SEED=42
 
 mkdir -p "$GOLDEN_DIR"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
 for scenario in $("$BIN" --list-names); do
   out="$GOLDEN_DIR/$scenario.seed$SEED.json"
   "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" --threads=2 \
-    --out="$out" 2>/dev/null
+    --out="$tmp/raw.json" 2>/dev/null
+  # Blessed outputs are timing-free: the "timing" block is wall-clock
+  # telemetry and must not churn the goldens (golden_check.sh strips it from
+  # fresh runs the same way).
+  bash "$(dirname "$0")/strip_timing.sh" < "$tmp/raw.json" > "$out"
   echo "blessed $out"
 done
