@@ -1,6 +1,7 @@
 #include "src/core/replica_placement.h"
 
 #include <algorithm>
+#include <array>
 #include <numeric>
 
 #include "src/util/logging.h"
@@ -13,15 +14,56 @@ bool Contains(const std::vector<EnvironmentId>& haystack, EnvironmentId needle) 
   return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
 }
 
+// Lazily-shuffled visit order over items[0, count): each NextIndex call is
+// one step of a Fisher-Yates shuffle, so the sequence of visited items is
+// distributed exactly like a full Shuffle() followed by a linear scan, but
+// the RNG is only consumed for items actually inspected (the common case
+// inspects one).
+template <typename T>
+class LazyShuffle {
+ public:
+  LazyShuffle(T* items, size_t count) : items_(items), count_(count) {}
+
+  bool Done() const { return next_ >= count_; }
+  T& Next(Rng& rng) {
+    size_t j = next_ + static_cast<size_t>(rng.NextBounded(count_ - next_));
+    std::swap(items_[next_], items_[j]);
+    return items_[next_++];
+  }
+
+ private:
+  T* items_;
+  size_t count_;
+  size_t next_ = 0;
+};
+
 }  // namespace
+
+ReplicaPlacer::ReplicaPlacer(const Cluster* cluster, const PlacementGrid* grid, Options options)
+    : cluster_(cluster), grid_(grid), options_(options) {
+  if (options_.greedy_best_first) {
+    greedy_order_ = grid_->tenant_stats();
+    std::sort(greedy_order_.begin(), greedy_order_.end(),
+              [](const TenantPlacementStats& a, const TenantPlacementStats& b) {
+                if (a.reimage_rate != b.reimage_rate) {
+                  return a.reimage_rate < b.reimage_rate;
+                }
+                if (a.peak_utilization != b.peak_utilization) {
+                  return a.peak_utilization < b.peak_utilization;
+                }
+                return a.tenant < b.tenant;
+              });
+  }
+}
 
 TenantId ReplicaPlacer::PickTenant(const GridCell& cell,
                                    const std::vector<EnvironmentId>& used_environments,
                                    const ServerFilter& has_space, Rng& rng) const {
   // Random order over the cell's tenants; accept the first eligible one.
-  std::vector<TenantId> candidates = cell.tenants;
-  rng.Shuffle(candidates);
-  for (TenantId tenant : candidates) {
+  tenant_scratch_.assign(cell.tenants.begin(), cell.tenants.end());
+  LazyShuffle<TenantId> order(tenant_scratch_.data(), tenant_scratch_.size());
+  while (!order.Done()) {
+    TenantId tenant = order.Next(rng);
     if (Contains(used_environments, cluster_->tenant(tenant).environment)) {
       continue;
     }
@@ -36,16 +78,37 @@ TenantId ReplicaPlacer::PickTenant(const GridCell& cell,
 
 ServerId ReplicaPlacer::PickServer(TenantId tenant, const ServerFilter& has_space,
                                    Rng& rng) const {
-  std::vector<ServerId> candidates;
-  for (ServerId server : cluster_->tenant(tenant).servers) {
-    if (has_space(server)) {
-      candidates.push_back(server);
-    }
-  }
-  if (candidates.empty()) {
+  const std::vector<ServerId>& servers = cluster_->tenant(tenant).servers;
+  if (servers.empty()) {
     return kInvalidServer;
   }
-  return candidates[rng.NextBounded(candidates.size())];
+  // Rejection sampling first (uniform over the eligible servers, no
+  // candidate-list allocation; succeeds quickly unless the tenant is nearly
+  // full)...
+  for (int probe = 0; probe < 8; ++probe) {
+    ServerId candidate = servers[rng.NextBounded(servers.size())];
+    if (has_space(candidate)) {
+      return candidate;
+    }
+  }
+  // ...then an exact two-pass draw: count the eligible servers, pick the
+  // k-th. Still uniform, still allocation-free.
+  size_t eligible = 0;
+  for (ServerId server : servers) {
+    if (has_space(server)) {
+      ++eligible;
+    }
+  }
+  if (eligible == 0) {
+    return kInvalidServer;
+  }
+  size_t k = rng.NextBounded(eligible);
+  for (ServerId server : servers) {
+    if (has_space(server) && k-- == 0) {
+      return server;
+    }
+  }
+  return kInvalidServer;  // unreachable
 }
 
 std::vector<ServerId> ReplicaPlacer::Place(ServerId writer, int replication,
@@ -55,9 +118,11 @@ std::vector<ServerId> ReplicaPlacer::Place(ServerId writer, int replication,
   }
 
   std::vector<ServerId> replicas;
-  std::vector<EnvironmentId> used_environments;
-  std::vector<bool> used_rows(kGridDim, false);
-  std::vector<bool> used_cols(kGridDim, false);
+  replicas.reserve(static_cast<size_t>(replication));
+  std::vector<EnvironmentId>& used_environments = environment_scratch_;
+  used_environments.clear();
+  std::array<bool, kGridDim> used_rows{};
+  std::array<bool, kGridDim> used_cols{};
 
   // Replica 1: the writer's server, for locality (lines 6-7). Falls back to
   // a random server of the writer's tenant/cell when the writer is full.
@@ -83,18 +148,20 @@ std::vector<ServerId> ReplicaPlacer::Place(ServerId writer, int replication,
     // the environment constraint stays hard.
     ServerId chosen = kInvalidServer;
     for (int pass = 0; pass < 2 && chosen == kInvalidServer; ++pass) {
-      std::vector<std::pair<int, int>> cells;
+      std::array<std::pair<int, int>, kGridDim * kGridDim> cells;
+      size_t num_cells = 0;
       for (int r = 0; r < kGridDim; ++r) {
         for (int c = 0; c < kGridDim; ++c) {
           bool diverse = !used_rows[static_cast<size_t>(r)] &&
                          !used_cols[static_cast<size_t>(c)];
           if ((pass == 0 ? diverse : true) && !grid_->cell(r, c).tenants.empty()) {
-            cells.emplace_back(r, c);
+            cells[num_cells++] = {r, c};
           }
         }
       }
-      rng.Shuffle(cells);
-      for (auto [r, c] : cells) {
+      LazyShuffle<std::pair<int, int>> order(cells.data(), num_cells);
+      while (!order.Done()) {
+        auto [r, c] = order.Next(rng);
         TenantId tenant = PickTenant(grid_->cell(r, c), used_environments, has_space, rng);
         if (tenant == kInvalidTenant) {
           continue;
@@ -129,8 +196,8 @@ std::vector<ServerId> ReplicaPlacer::Place(ServerId writer, int replication,
     ++since_reset;
     if (since_reset % 3 == 0) {
       // Forget rows and columns every third replica (lines 15-17).
-      std::fill(used_rows.begin(), used_rows.end(), false);
-      std::fill(used_cols.begin(), used_cols.end(), false);
+      used_rows.fill(false);
+      used_cols.fill(false);
     }
   }
   return replicas;
@@ -138,9 +205,10 @@ std::vector<ServerId> ReplicaPlacer::Place(ServerId writer, int replication,
 
 ServerId ReplicaPlacer::PlaceAdditional(const std::vector<ServerId>& existing,
                                         const ServerFilter& has_space, Rng& rng) const {
-  std::vector<EnvironmentId> used_environments;
-  std::vector<bool> used_rows(kGridDim, false);
-  std::vector<bool> used_cols(kGridDim, false);
+  std::vector<EnvironmentId>& used_environments = environment_scratch_;
+  used_environments.clear();
+  std::array<bool, kGridDim> used_rows{};
+  std::array<bool, kGridDim> used_cols{};
   for (ServerId s : existing) {
     TenantId tenant = cluster_->server(s).tenant;
     used_environments.push_back(cluster_->tenant(tenant).environment);
@@ -155,17 +223,19 @@ ServerId ReplicaPlacer::PlaceAdditional(const std::vector<ServerId>& existing,
   // replica. Pass 2: any cell, environment constraint only (mirrors the
   // round reset of Algorithm 2 when existing replicas already span 3 cells).
   for (int pass = 0; pass < 2; ++pass) {
-    std::vector<std::pair<int, int>> cells;
+    std::array<std::pair<int, int>, kGridDim * kGridDim> cells;
+    size_t num_cells = 0;
     for (int r = 0; r < kGridDim; ++r) {
       for (int c = 0; c < kGridDim; ++c) {
         bool diverse = !used_rows[static_cast<size_t>(r)] && !used_cols[static_cast<size_t>(c)];
         if ((pass == 0 ? diverse : true) && !grid_->cell(r, c).tenants.empty()) {
-          cells.emplace_back(r, c);
+          cells[num_cells++] = {r, c};
         }
       }
     }
-    rng.Shuffle(cells);
-    for (auto [r, c] : cells) {
+    LazyShuffle<std::pair<int, int>> order(cells.data(), num_cells);
+    while (!order.Done()) {
+      auto [r, c] = order.Next(rng);
       TenantId tenant = PickTenant(grid_->cell(r, c), used_environments, has_space, rng);
       if (tenant == kInvalidTenant) {
         continue;
@@ -184,27 +254,17 @@ std::vector<ServerId> ReplicaPlacer::PlaceGreedy(ServerId writer, int replicatio
   // The strawman of §4.2: order tenants by (reimage rate, peak utilization)
   // and fill the "best" tenants first. Flaws: durability and availability are
   // treated sequentially, and once the good tenants fill up, the remaining
-  // placements are poor.
+  // placements are poor. The order is precomputed in the constructor.
   std::vector<ServerId> replicas;
   if (has_space(writer)) {
     replicas.push_back(writer);
   }
-  std::vector<TenantPlacementStats> order = grid_->tenant_stats();
-  std::sort(order.begin(), order.end(),
-            [](const TenantPlacementStats& a, const TenantPlacementStats& b) {
-              if (a.reimage_rate != b.reimage_rate) {
-                return a.reimage_rate < b.reimage_rate;
-              }
-              if (a.peak_utilization != b.peak_utilization) {
-                return a.peak_utilization < b.peak_utilization;
-              }
-              return a.tenant < b.tenant;
-            });
-  std::vector<EnvironmentId> used_environments;
+  std::vector<EnvironmentId>& used_environments = environment_scratch_;
+  used_environments.clear();
   if (!replicas.empty()) {
     used_environments.push_back(cluster_->tenant(cluster_->server(writer).tenant).environment);
   }
-  for (const auto& stats : order) {
+  for (const auto& stats : greedy_order_) {
     if (static_cast<int>(replicas.size()) >= replication) {
       break;
     }

@@ -5,11 +5,20 @@
 // yet received a replica, and to a random server of that tenant with space.
 // After every third replica the row/column history is forgotten, so
 // replication levels above 3 keep spreading.
+//
+// Placement is the storage co-simulation's hot path: a year of reimages heals
+// ~7 blocks for every block created, and every heal runs PlaceAdditional.
+// The placer therefore keeps reusable scratch buffers (no allocation per
+// call), visits candidates in lazily-shuffled order (RNG draws proportional
+// to candidates *inspected*, not candidates available), and picks servers by
+// rejection sampling. One placer serves one simulation thread at a time
+// (each NameNode owns its own instance); see the scratch members below.
 
 #ifndef HARVEST_SRC_CORE_REPLICA_PLACEMENT_H_
 #define HARVEST_SRC_CORE_REPLICA_PLACEMENT_H_
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/core/placement_grid.h"
@@ -38,8 +47,7 @@ class ReplicaPlacer {
 
   ReplicaPlacer(const Cluster* cluster, const PlacementGrid* grid)
       : ReplicaPlacer(cluster, grid, Options()) {}
-  ReplicaPlacer(const Cluster* cluster, const PlacementGrid* grid, Options options)
-      : cluster_(cluster), grid_(grid), options_(options) {}
+  ReplicaPlacer(const Cluster* cluster, const PlacementGrid* grid, Options options);
 
   // Places `replication` replicas of a new block created by `writer`.
   // Returns the chosen servers (size <= replication; < means partial failure
@@ -70,6 +78,14 @@ class ReplicaPlacer {
   const Cluster* cluster_;
   const PlacementGrid* grid_;
   Options options_;
+  // The strawman's tenant order, precomputed once (it is a pure function of
+  // the grid's tenant statistics; the seed code re-sorted per block).
+  std::vector<TenantPlacementStats> greedy_order_;
+  // Scratch reused across calls so the heal path never allocates. Mutable
+  // because placement is logically const; this makes one placer instance
+  // single-threaded by design (documented above).
+  mutable std::vector<TenantId> tenant_scratch_;
+  mutable std::vector<EnvironmentId> environment_scratch_;
 };
 
 }  // namespace harvest

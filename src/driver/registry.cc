@@ -349,10 +349,38 @@ std::vector<ScenarioKnob> MakeKnobs() {
       FractionKnob(&ScenarioConfig::scheduling_target_utilization));
   add("placement_sample_blocks", "int > 0", "blocks sampled by the placement audit",
       PositiveIntKnob(&ScenarioConfig::placement_sample_blocks));
-  add("run_durability", "bool", "run the durability experiment",
+  add("run_durability", "bool", "run the storage durability grid",
       BoolKnob(&ScenarioConfig::run_durability));
-  add("durability_blocks", "int > 0", "blocks created for the durability experiment",
-      PositiveIntKnob(&ScenarioConfig::durability_blocks));
+  add("storage_blocks", "int > 0", "blocks created per cell of the storage co-simulation grid",
+      PositiveIntKnob(&ScenarioConfig::storage_blocks));
+  add("durability_blocks", "int > 0", "deprecated alias for storage_blocks",
+      PositiveIntKnob(&ScenarioConfig::storage_blocks));
+  add("access_rate", "double >= 0",
+      "client accesses per hour injected into the durability timeline (0 = none)",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        return ParseNonNegativeDouble(value, &config.access_rate, error);
+      });
+  add("placement_kinds", "comma list of stock|history|random|greedy|soft",
+      "placement flavors in the storage grid, e.g. stock,history",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        std::vector<PlacementKind> kinds;
+        for (std::string_view item : SplitList(value)) {
+          PlacementKind kind;
+          if (!ParsePlacementKind(item, &kind)) {
+            return Fail(error, "unknown placement kind '" + std::string(item) +
+                                   "' (expected stock, history, random, greedy or soft)");
+          }
+          if (std::find(kinds.begin(), kinds.end(), kind) != kinds.end()) {
+            return Fail(error, "duplicate placement kind '" + std::string(item) + "'");
+          }
+          kinds.push_back(kind);
+        }
+        if (kinds.empty()) {
+          return Fail(error, "placement kind list must not be empty");
+        }
+        config.placement_kinds = std::move(kinds);
+        return true;
+      });
   add("replications", "comma list of ints in [1, 16]",
       "replication factors compared, e.g. 3,4",
       [](ScenarioConfig& config, std::string_view value, std::string* error) {

@@ -95,8 +95,23 @@ void WritePlacement(JsonWriter& json, const PlacementAuditStageResult& placement
   json.EndObject();
 }
 
+// The full grid schema: both storage experiments render their axes (every
+// placement kind, every replication / target) ahead of the cell list, so
+// consumers can reshape cells without inferring the grid from cell order.
 void WriteDurability(JsonWriter& json, const DurabilityStageResult& durability) {
-  json.Key("durability").BeginArray();
+  json.Key("durability").BeginObject();
+  json.Key("placement_kinds").BeginArray();
+  for (const std::string& kind : durability.placement_kinds) {
+    json.Value(kind);
+  }
+  json.EndArray();
+  json.Key("replications").BeginArray();
+  for (int replication : durability.replications) {
+    json.Value(replication);
+  }
+  json.EndArray();
+  json.Field("access_rate", durability.access_rate);
+  json.Key("cells").BeginArray();
   for (const DurabilityCellResult& cell : durability.cells) {
     json.BeginObject();
     json.Field("placement", cell.placement);
@@ -106,23 +121,43 @@ void WriteDurability(JsonWriter& json, const DurabilityStageResult& durability) 
     json.Field("reimage_events", cell.reimage_events);
     json.Field("replicas_destroyed", cell.replicas_destroyed);
     json.Field("rereplications_completed", cell.rereplications_completed);
+    json.Field("under_replicated_blocks", cell.under_replicated_blocks);
+    if (durability.access_rate > 0.0) {
+      json.Field("accesses", cell.accesses);
+      json.Field("failed_percent", cell.failed_percent);
+    }
     json.EndObject();
   }
   json.EndArray();
+  json.EndObject();
 }
 
 void WriteAvailability(JsonWriter& json, const AvailabilityStageResult& availability) {
-  json.Key("availability").BeginArray();
+  json.Key("availability").BeginObject();
+  json.Key("placement_kinds").BeginArray();
+  for (const std::string& kind : availability.placement_kinds) {
+    json.Value(kind);
+  }
+  json.EndArray();
+  json.Key("target_utilizations").BeginArray();
+  for (double target : availability.target_utilizations) {
+    json.Value(target);
+  }
+  json.EndArray();
+  json.Field("replication", availability.replication);
+  json.Key("cells").BeginArray();
   for (const AvailabilityCellResult& cell : availability.cells) {
     json.BeginObject();
     json.Field("target_utilization", cell.target_utilization);
     json.Field("placement", cell.placement);
     json.Field("average_utilization", cell.average_utilization);
     json.Field("accesses", cell.accesses);
+    json.Field("failed", cell.failed);
     json.Field("failed_percent", cell.failed_percent);
     json.EndObject();
   }
   json.EndArray();
+  json.EndObject();
 }
 
 // The per-stage wall-clock block. Placed between "overrides" and

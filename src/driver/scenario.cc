@@ -27,7 +27,7 @@ ScenarioConfig Dc9Testbed() {
   // ~102 servers hold ~55k harvestable block slots; keep the namespace under
   // half full so hard-constraint placement never degrades for lack of space
   // (the paper's production guardrail stops consuming space well before that).
-  config.durability_blocks = 8000;
+  config.storage_blocks = 8000;
   config.replications = {3, 4};
   config.run_availability = true;
   config.availability_blocks = 5000;
@@ -58,7 +58,7 @@ ScenarioConfig FleetSweep() {
   config.scheduling_storage = StorageVariant::kNone;
   config.scheduling_target_utilization = 0.45;
   config.run_durability = true;
-  config.durability_blocks = 15000;
+  config.storage_blocks = 15000;
   config.replications = {3};
   config.run_availability = false;
   return config;
@@ -80,7 +80,7 @@ ScenarioConfig ReimageStorm() {
   config.reimage_storm = true;
   config.run_scheduling = false;
   config.run_durability = true;
-  config.durability_blocks = 30000;
+  config.storage_blocks = 30000;
   config.replications = {3, 4};
   config.run_availability = false;
   return config;
@@ -108,7 +108,7 @@ ScenarioConfig HeteroShapes() {
   config.scheduling_storage = StorageVariant::kNone;
   config.scheduling_target_utilization = 0.45;
   config.run_durability = true;
-  config.durability_blocks = 10000;
+  config.storage_blocks = 10000;
   config.replications = {3};
   config.run_availability = false;
   return config;
@@ -134,7 +134,7 @@ ScenarioConfig WeekHorizon() {
   config.scheduling_storage = StorageVariant::kNone;
   config.scheduling_target_utilization = 0.50;
   config.run_durability = true;
-  config.durability_blocks = 12000;
+  config.storage_blocks = 12000;
   config.replications = {3};
   config.run_availability = true;
   config.availability_blocks = 5000;
@@ -163,17 +163,46 @@ ScenarioConfig StormUnderLoad() {
   config.scheduling_storage = StorageVariant::kHistory;
   config.scheduling_target_utilization = 0.40;
   config.run_durability = true;
-  config.durability_blocks = 20000;
+  config.storage_blocks = 20000;
   config.replications = {3, 4};
   config.run_availability = false;
+  return config;
+}
+
+ScenarioConfig StorageStress() {
+  ScenarioConfig config;
+  config.name = "storage_stress";
+  config.description =
+      "Storage co-simulation stress: the full placement-kind x replication grid on a "
+      "stormy DC-9 (correlated mass reimages) with a Poisson client-access load riding "
+      "the same timeline, plus the availability sweep across three utilizations -- the "
+      "year-horizon grid the event-driven NameNode accounting makes routine.";
+  config.use_testbed = false;
+  config.datacenters = {"DC-9"};
+  config.fleet_scale = 0.25;
+  config.trace_slots = kSlotsPerDay;
+  config.reimage_months = 12;
+  config.per_server_traces = false;
+  config.reimage_storm = true;
+  config.run_scheduling = false;
+  config.run_durability = true;
+  config.storage_blocks = 20000;
+  config.replications = {3, 4};
+  // ~12 accesses/hour over the 12-month timeline: ~105k reads observing the
+  // namespace mid-heal, the failure mode pure Fig-15 runs never see.
+  config.access_rate = 12.0;
+  config.run_availability = true;
+  config.availability_blocks = 8000;
+  config.availability_accesses = 40000;
+  config.availability_utilizations = {0.30, 0.50, 0.70};
   return config;
 }
 
 }  // namespace
 
 std::vector<ScenarioConfig> BuiltinScenarioList() {
-  return {Dc9Testbed(),   FleetSweep(),  ReimageStorm(),
-          HeteroShapes(), WeekHorizon(), StormUnderLoad()};
+  return {Dc9Testbed(),   FleetSweep(),    ReimageStorm(), HeteroShapes(),
+          WeekHorizon(),  StormUnderLoad(), StorageStress()};
 }
 
 ScenarioConfig ScaledScenario(const ScenarioConfig& config, double scale) {
@@ -190,9 +219,12 @@ ScenarioConfig ScaledScenario(const ScenarioConfig& config, double scale) {
   scaled.testbed_servers =
       static_cast<int>(scale_count(config.testbed_servers, 42));
   scaled.fleet_scale = config.fleet_scale * scale;
-  scaled.durability_blocks = scale_count(config.durability_blocks, 1000);
+  scaled.storage_blocks = scale_count(config.storage_blocks, 1000);
   scaled.availability_blocks = scale_count(config.availability_blocks, 1000);
   scaled.availability_accesses = scale_count(config.availability_accesses, 5000);
+  // Access volume scales with the fleet (a smaller smoke fleet should not
+  // face the full-scale read load).
+  scaled.access_rate = config.access_rate * scale;
   scaled.placement_sample_blocks =
       static_cast<int>(scale_count(config.placement_sample_blocks, 100));
   return scaled;

@@ -67,10 +67,18 @@ struct ScenarioConfig {
   // --- Algorithm-2 placement audit (src/storage) ---
   int placement_sample_blocks = 500;
 
-  // --- Durability / availability experiments (src/experiments) ---
+  // --- Storage co-simulation grid (src/experiments/storage_cosim) ---
+  // The durability grid is placement_kinds x replications off one shared
+  // reimage/access timeline; the availability sweep reruns the kind axis at
+  // each target utilization.
   bool run_durability = true;
-  int64_t durability_blocks = 20000;
+  int64_t storage_blocks = 20000;
   std::vector<int> replications = {3, 4};
+  // Grid axis: which placement flavors to exercise (default: all five).
+  std::vector<PlacementKind> placement_kinds = AllPlacementKinds();
+  // Mean client accesses per hour injected into the durability timeline
+  // (Poisson; 0 = the pure Fig-15 setup with no access load under reimages).
+  double access_rate = 0.0;
   bool run_availability = true;
   int64_t availability_blocks = 10000;
   int64_t availability_accesses = 50000;

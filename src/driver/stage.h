@@ -34,13 +34,6 @@
 
 namespace harvest {
 
-// Independent 64-bit stream per (seed, tag): adding or disabling one
-// consumer never shifts another's randomness.
-inline uint64_t DerivedStreamSeed(uint64_t seed, std::string_view tag) {
-  uint64_t state = seed ^ StableHash(tag);
-  return SplitMix64(state);
-}
-
 // Per-datacenter seed, a function of the scenario seed and the DC *index*
 // only -- never of thread ids or execution order.
 inline uint64_t DeriveDcSeed(uint64_t scenario_seed, int dc_index) {
@@ -168,6 +161,8 @@ struct PlacementAuditStageResult {
 PlacementAuditStageResult RunPlacementAuditStage(const DcContext& ctx, const Cluster& cluster);
 
 // --- DurabilityStage ------------------------------------------------------
+// The Fig-15 grid: placement_kinds x replications, every cell an event-driven
+// co-simulation task replaying the DC's one shared reimage/access timeline.
 
 struct DurabilityCellResult {
   std::string placement;  // PlacementKindName
@@ -177,25 +172,39 @@ struct DurabilityCellResult {
   int64_t reimage_events = 0;
   int64_t replicas_destroyed = 0;
   int64_t rereplications_completed = 0;
+  int64_t under_replicated_blocks = 0;
+  // Access load riding the timeline (access_rate > 0 only).
+  int64_t accesses = 0;
+  double failed_percent = 0.0;
 };
 
 struct DurabilityStageResult {
+  // The grid axes, in cell order: cells[r * kinds + k].
+  std::vector<std::string> placement_kinds;
+  std::vector<int> replications;
+  double access_rate = 0.0;
   std::vector<DurabilityCellResult> cells;
 };
 
 DurabilityStageResult RunDurabilityStage(const DcContext& ctx, const Cluster& cluster);
 
 // --- AvailabilityStage ----------------------------------------------------
+// The Fig-16 sweep: target_utilizations x placement_kinds, cells sharing one
+// access schedule; cells[t * kinds + k].
 
 struct AvailabilityCellResult {
   double target_utilization = 0.0;
   std::string placement;  // PlacementKindName
   double average_utilization = 0.0;
   int64_t accesses = 0;
+  int64_t failed = 0;
   double failed_percent = 0.0;
 };
 
 struct AvailabilityStageResult {
+  std::vector<std::string> placement_kinds;
+  std::vector<double> target_utilizations;
+  int replication = 3;
   std::vector<AvailabilityCellResult> cells;
 };
 
@@ -238,8 +247,10 @@ struct RunTiming {
 };
 
 // The whole run, typed. result_json.cc renders it; pipeline.cc summarizes it.
+// Schema v3: the storage experiments became grid objects (axes + cells) with
+// the full placement-kind coverage.
 struct ScenarioResult {
-  int schema_version = 2;
+  int schema_version = 3;
   std::string scenario;
   std::string description;
   uint64_t seed = 0;

@@ -1,70 +1,32 @@
 #include "src/experiments/availability.h"
 
-#include <memory>
-
-#include "src/storage/name_node.h"
+#include "src/util/rng.h"
 
 namespace harvest {
 
-namespace {
-
-std::unique_ptr<PlacementPolicy> MakeAvailabilityPolicy(PlacementKind kind,
-                                                        const Cluster* cluster) {
-  switch (kind) {
-    case PlacementKind::kStock:
-      return std::make_unique<StockPlacement>(cluster);
-    case PlacementKind::kRandom:
-      return std::make_unique<RandomPlacement>(cluster);
-    case PlacementKind::kGreedy: {
-      ReplicaPlacer::Options options;
-      options.greedy_best_first = true;
-      return std::make_unique<HistoryPlacement>(cluster, options);
-    }
-    case PlacementKind::kSoft: {
-      ReplicaPlacer::Options options;
-      options.soft_constraints = true;
-      return std::make_unique<HistoryPlacement>(cluster, options);
-    }
-    case PlacementKind::kHistory:
-    default:
-      return std::make_unique<HistoryPlacement>(cluster);
-  }
-}
-
-}  // namespace
-
 AvailabilityResult RunAvailabilityExperiment(const Cluster& cluster,
                                              const AvailabilityOptions& options) {
-  Rng rng(options.seed);
-  NameNodeOptions nn_options;
-  nn_options.replication = options.replication;
-  // Both systems hit the same 66% wall; placement is the only difference.
-  nn_options.primary_aware_access = true;
-  NameNode name_node(&cluster, MakeAvailabilityPolicy(options.placement, &cluster), nn_options,
-                     &rng);
+  StorageTimelineOptions timeline_options;
+  timeline_options.uniform_accesses = options.num_accesses;
+  timeline_options.access_horizon_seconds = options.horizon_seconds;
+  timeline_options.access_seed = DerivedStreamSeed(options.seed, "accesses");
+  StorageTimeline timeline = BuildStorageTimeline(cluster, timeline_options);
 
-  for (int64_t b = 0; b < options.num_blocks; ++b) {
-    ServerId writer = static_cast<ServerId>(rng.NextBounded(cluster.num_servers()));
-    name_node.CreateBlock(writer, 0.0);
-  }
+  StorageCosimOptions cosim;
+  cosim.placement = options.placement;
+  cosim.replication = options.replication;
+  cosim.num_blocks = options.num_blocks;
+  // Both systems hit the same 66% wall; placement is the only difference.
+  cosim.primary_aware_access = true;
+  cosim.writer_seed = options.seed;
+  cosim.policy_seed = DerivedStreamSeed(options.seed, PlacementKindName(options.placement));
+  StorageCosimResult run = RunStorageCosim(cluster, timeline, cosim);
 
   AvailabilityResult result;
   result.average_utilization = cluster.AverageUtilization();
-  if (name_node.num_blocks() == 0) {
-    return result;
-  }
-  for (int64_t a = 0; a < options.num_accesses; ++a) {
-    double t = rng.NextDouble() * options.horizon_seconds;
-    BlockId block =
-        static_cast<BlockId>(rng.NextBounded(static_cast<uint64_t>(name_node.num_blocks())));
-    AccessResult access = name_node.Access(block, t);
-    if (access == AccessResult::kFailed || access == AccessResult::kMissing) {
-      ++result.failed;
-    }
-  }
-  result.accesses = options.num_accesses;
-  result.failed_percent =
-      100.0 * static_cast<double>(result.failed) / static_cast<double>(result.accesses);
+  result.accesses = run.stats.accesses;
+  result.failed = run.stats.failed_accesses;
+  result.failed_percent = run.failed_access_percent;
   return result;
 }
 

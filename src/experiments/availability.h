@@ -1,8 +1,12 @@
 // Data-availability experiment (paper Fig 16): sweep the cluster utilization
 // (linear or root scaling) and measure the fraction of block accesses that
 // fail because every replica sits on a busy server (primary CPU above the
-// 66% wall). Compares HDFS-Stock placement against HDFS-H's peak-utilization
-// diversity, at three- and four-way replication.
+// 66% wall). Compares the full placement-kind grid, HDFS-Stock against
+// HDFS-H's peak-utilization diversity, at three- and four-way replication.
+//
+// Thin wrapper over the event-driven storage co-simulation
+// (src/experiments/storage_cosim.h); the driver's AvailabilityStage runs the
+// utilization x placement-kind grid off one shared access schedule instead.
 
 #ifndef HARVEST_SRC_EXPERIMENTS_AVAILABILITY_H_
 #define HARVEST_SRC_EXPERIMENTS_AVAILABILITY_H_

@@ -1,99 +1,32 @@
 #include "src/experiments/durability.h"
 
-#include <algorithm>
-
-#include "src/util/logging.h"
+#include "src/trace/reimage.h"
+#include "src/util/rng.h"
 
 namespace harvest {
 
-const char* PlacementKindName(PlacementKind kind) {
-  switch (kind) {
-    case PlacementKind::kStock:
-      return "HDFS-Stock";
-    case PlacementKind::kHistory:
-      return "HDFS-H";
-    case PlacementKind::kRandom:
-      return "HDFS-Random";
-    case PlacementKind::kGreedy:
-      return "HDFS-Greedy";
-    case PlacementKind::kSoft:
-      return "HDFS-H(soft)";
-  }
-  return "unknown";
-}
-
-namespace {
-
-std::unique_ptr<PlacementPolicy> MakePolicy(PlacementKind kind, const Cluster* cluster) {
-  switch (kind) {
-    case PlacementKind::kStock:
-      return std::make_unique<StockPlacement>(cluster);
-    case PlacementKind::kHistory:
-      return std::make_unique<HistoryPlacement>(cluster);
-    case PlacementKind::kRandom:
-      return std::make_unique<RandomPlacement>(cluster);
-    case PlacementKind::kGreedy: {
-      ReplicaPlacer::Options options;
-      options.greedy_best_first = true;
-      return std::make_unique<HistoryPlacement>(cluster, options);
-    }
-    case PlacementKind::kSoft: {
-      ReplicaPlacer::Options options;
-      options.soft_constraints = true;
-      return std::make_unique<HistoryPlacement>(cluster, options);
-    }
-  }
-  return nullptr;
-}
-
-}  // namespace
-
 DurabilityResult RunDurabilityExperiment(const Cluster& cluster,
                                          const DurabilityOptions& options) {
-  Rng rng(options.seed);
-  NameNodeOptions nn_options;
-  nn_options.replication = options.replication;
-  nn_options.detection_delay_seconds = options.detection_delay_seconds;
-  nn_options.rereplication_blocks_per_hour = options.rereplication_blocks_per_hour;
-  NameNode name_node(&cluster, MakePolicy(options.placement, &cluster), nn_options, &rng);
+  StorageTimelineOptions timeline_options;
+  timeline_options.reimage_horizon_seconds =
+      static_cast<double>(options.months) * kSecondsPerMonth;
+  StorageTimeline timeline = BuildStorageTimeline(cluster, timeline_options);
 
-  // Populate the namespace: blocks written from random servers (batch jobs
-  // run everywhere, so writers are spread fleet-wide).
-  for (int64_t b = 0; b < options.num_blocks; ++b) {
-    ServerId writer = static_cast<ServerId>(rng.NextBounded(cluster.num_servers()));
-    name_node.CreateBlock(writer, 0.0);
-  }
-
-  // Replay every reimage event over the horizon in time order.
-  struct Event {
-    double time;
-    ServerId server;
-  };
-  std::vector<Event> events;
-  const double horizon = static_cast<double>(options.months) * kSecondsPerMonth;
-  for (const auto& server : cluster.servers()) {
-    for (double t : server.reimage_times) {
-      if (t < horizon) {
-        events.push_back(Event{t, server.id});
-      }
-    }
-  }
-  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    if (a.time != b.time) {
-      return a.time < b.time;
-    }
-    return a.server < b.server;
-  });
-  for (const Event& event : events) {
-    name_node.OnReimage(event.server, event.time);
-  }
-  // Let the tail of the re-replication queue drain.
-  name_node.ProcessRereplication(horizon + 30.0 * 24.0 * 3600.0);
+  StorageCosimOptions cosim;
+  cosim.placement = options.placement;
+  cosim.replication = options.replication;
+  cosim.num_blocks = options.num_blocks;
+  cosim.detection_delay_seconds = options.detection_delay_seconds;
+  cosim.rereplication_blocks_per_hour = options.rereplication_blocks_per_hour;
+  cosim.writer_seed = options.seed;
+  cosim.policy_seed = DerivedStreamSeed(options.seed, PlacementKindName(options.placement));
+  StorageCosimResult run = RunStorageCosim(cluster, timeline, cosim);
 
   DurabilityResult result;
-  result.stats = name_node.stats();
-  result.lost_percent = 100.0 * result.stats.LossFraction();
-  result.reimage_events = static_cast<int64_t>(events.size());
+  result.stats = run.stats;
+  result.lost_percent = run.lost_percent;
+  result.reimage_events = run.reimage_events;
+  result.under_replicated_blocks = run.under_replicated_blocks;
   return result;
 }
 

@@ -1,8 +1,13 @@
 // Data-durability experiment (paper Fig 15): simulate a year of disk
-// reimages over a datacenter and count lost blocks under HDFS-Stock vs
-// HDFS-H at three- and four-way replication. A block is lost when every
+// reimages over a datacenter and count lost blocks under the placement-kind
+// grid at three- and four-way replication. A block is lost when every
 // replica is destroyed before re-replication (throttled at 30 blocks/hour/
 // server, after a heartbeat-timeout detection delay) can heal it.
+//
+// This is a thin wrapper over the event-driven storage co-simulation
+// (src/experiments/storage_cosim.h), kept for the benches / examples that
+// run one cell at a time; the driver's DurabilityStage runs the full grid
+// off one shared timeline instead.
 
 #ifndef HARVEST_SRC_EXPERIMENTS_DURABILITY_H_
 #define HARVEST_SRC_EXPERIMENTS_DURABILITY_H_
@@ -10,13 +15,10 @@
 #include <cstdint>
 
 #include "src/cluster/cluster.h"
+#include "src/experiments/storage_cosim.h"
 #include "src/storage/name_node.h"
 
 namespace harvest {
-
-enum class PlacementKind { kStock = 0, kHistory = 1, kRandom = 2, kGreedy = 3, kSoft = 4 };
-
-const char* PlacementKindName(PlacementKind kind);
 
 struct DurabilityOptions {
   PlacementKind placement = PlacementKind::kHistory;
@@ -34,6 +36,8 @@ struct DurabilityResult {
   // Percentage of created blocks lost over the horizon.
   double lost_percent = 0.0;
   int64_t reimage_events = 0;
+  // Live blocks still below target replication after the drain.
+  int64_t under_replicated_blocks = 0;
 };
 
 DurabilityResult RunDurabilityExperiment(const Cluster& cluster,

@@ -1,0 +1,214 @@
+#include "src/experiments/storage_cosim.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace harvest {
+
+const char* PlacementKindName(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kStock:
+      return "HDFS-Stock";
+    case PlacementKind::kHistory:
+      return "HDFS-H";
+    case PlacementKind::kRandom:
+      return "HDFS-Random";
+    case PlacementKind::kGreedy:
+      return "HDFS-Greedy";
+    case PlacementKind::kSoft:
+      return "HDFS-H(soft)";
+  }
+  return "unknown";
+}
+
+bool ParsePlacementKind(std::string_view token, PlacementKind* kind) {
+  if (token == "stock") {
+    *kind = PlacementKind::kStock;
+  } else if (token == "history") {
+    *kind = PlacementKind::kHistory;
+  } else if (token == "random") {
+    *kind = PlacementKind::kRandom;
+  } else if (token == "greedy") {
+    *kind = PlacementKind::kGreedy;
+  } else if (token == "soft") {
+    *kind = PlacementKind::kSoft;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const std::vector<PlacementKind>& AllPlacementKinds() {
+  static const std::vector<PlacementKind> kinds = {
+      PlacementKind::kStock, PlacementKind::kHistory, PlacementKind::kRandom,
+      PlacementKind::kGreedy, PlacementKind::kSoft};
+  return kinds;
+}
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind,
+                                                     const Cluster* cluster) {
+  switch (kind) {
+    case PlacementKind::kStock:
+      return std::make_unique<StockPlacement>(cluster);
+    case PlacementKind::kHistory:
+      return std::make_unique<HistoryPlacement>(cluster);
+    case PlacementKind::kRandom:
+      return std::make_unique<RandomPlacement>(cluster);
+    case PlacementKind::kGreedy: {
+      ReplicaPlacer::Options options;
+      options.greedy_best_first = true;
+      return std::make_unique<HistoryPlacement>(cluster, options);
+    }
+    case PlacementKind::kSoft: {
+      ReplicaPlacer::Options options;
+      options.soft_constraints = true;
+      return std::make_unique<HistoryPlacement>(cluster, options);
+    }
+  }
+  return nullptr;
+}
+
+StorageTimeline BuildStorageTimeline(const Cluster& cluster,
+                                     const StorageTimelineOptions& options) {
+  StorageTimeline timeline;
+  timeline.horizon_seconds =
+      std::max(options.reimage_horizon_seconds, options.access_horizon_seconds);
+
+  if (options.reimage_horizon_seconds > 0.0) {
+    for (const auto& server : cluster.servers()) {
+      for (double t : server.reimage_times) {
+        if (t < options.reimage_horizon_seconds) {
+          timeline.reimages.emplace_back(t, server.id);
+        }
+      }
+    }
+    std::sort(timeline.reimages.begin(), timeline.reimages.end());
+  }
+
+  Rng rng(options.access_seed);
+  if (options.uniform_accesses > 0 && options.access_horizon_seconds > 0.0) {
+    timeline.accesses.reserve(static_cast<size_t>(options.uniform_accesses));
+    for (int64_t a = 0; a < options.uniform_accesses; ++a) {
+      StorageAccessEvent event;
+      event.time_seconds = rng.NextDouble() * options.access_horizon_seconds;
+      event.block_draw = rng.Next();
+      timeline.accesses.push_back(event);
+    }
+  }
+  if (options.access_rate_per_hour > 0.0 && options.reimage_horizon_seconds > 0.0) {
+    const double rate_per_second = options.access_rate_per_hour / 3600.0;
+    double t = rng.Exponential(rate_per_second);
+    while (t < options.reimage_horizon_seconds) {
+      StorageAccessEvent event;
+      event.time_seconds = t;
+      event.block_draw = rng.Next();
+      timeline.accesses.push_back(event);
+      t += rng.Exponential(rate_per_second);
+    }
+  }
+  std::stable_sort(timeline.accesses.begin(), timeline.accesses.end(),
+                   [](const StorageAccessEvent& a, const StorageAccessEvent& b) {
+                     return a.time_seconds < b.time_seconds;
+                   });
+  return timeline;
+}
+
+StorageCosimResult RunStorageCosim(const Cluster& cluster, const StorageTimeline& timeline,
+                                   const StorageCosimOptions& options) {
+  Rng writer_rng(options.writer_seed);
+  Rng policy_rng(options.policy_seed);
+  NameNodeOptions nn_options;
+  nn_options.replication = options.replication;
+  nn_options.primary_aware_access = options.primary_aware_access;
+  nn_options.detection_delay_seconds = options.detection_delay_seconds;
+  nn_options.rereplication_blocks_per_hour = options.rereplication_blocks_per_hour;
+  NameNode name_node(&cluster, MakePlacementPolicy(options.placement, &cluster), nn_options,
+                     &policy_rng);
+
+  // Populate the namespace at t = 0: blocks written from random servers
+  // (batch jobs run everywhere, so writers are spread fleet-wide). The
+  // writer stream is independent of the policy stream, so every grid cell
+  // sees the identical write workload.
+  for (int64_t b = 0; b < options.num_blocks; ++b) {
+    ServerId writer = static_cast<ServerId>(writer_rng.NextBounded(cluster.num_servers()));
+    name_node.CreateBlock(writer, 0.0);
+  }
+  const uint64_t live_blocks = static_cast<uint64_t>(name_node.num_blocks());
+
+  // Replay the shared timeline event-driven: a cursor over each stream, one
+  // pending EventQueue entry at a time (the fired event schedules the next
+  // one), so the queue stays O(1)-sized and each event does only the
+  // NameNode's O(affected) work. Ordering contract, which the oracle's dense
+  // reference mirrors: events fire in time order, and a reimage fires before
+  // an access at the same timestamp. Re-replication completions ride the
+  // NameNode's own completion-time queue, drained up to `now` at every
+  // event. The callback captures one pointer, so every re-schedule copies a
+  // small-buffer std::function -- no per-event allocation.
+  struct Replay {
+    const StorageTimeline* timeline;
+    NameNode* name_node;
+    EventQueue* queue;
+    StorageCosimResult* result;
+    uint64_t live_blocks;
+    size_t reimage_cursor = 0;
+    size_t access_cursor = 0;
+
+    bool Done() const {
+      return reimage_cursor >= timeline->reimages.size() &&
+             access_cursor >= timeline->accesses.size();
+    }
+    double NextTime() const {
+      const bool have_reimage = reimage_cursor < timeline->reimages.size();
+      const bool have_access = access_cursor < timeline->accesses.size();
+      if (have_reimage && have_access) {
+        return std::min(timeline->reimages[reimage_cursor].first,
+                        timeline->accesses[access_cursor].time_seconds);
+      }
+      return have_reimage ? timeline->reimages[reimage_cursor].first
+                          : timeline->accesses[access_cursor].time_seconds;
+    }
+    void RunNext() {
+      const bool have_access = access_cursor < timeline->accesses.size();
+      const bool reimage_first =
+          reimage_cursor < timeline->reimages.size() &&
+          (!have_access || timeline->reimages[reimage_cursor].first <=
+                               timeline->accesses[access_cursor].time_seconds);
+      if (reimage_first) {
+        const auto& [time, server] = timeline->reimages[reimage_cursor++];
+        name_node->OnReimage(server, time);
+        ++result->reimage_events;
+      } else {
+        const StorageAccessEvent& event = timeline->accesses[access_cursor++];
+        if (live_blocks > 0) {
+          name_node->ProcessRereplication(event.time_seconds);
+          name_node->Access(static_cast<BlockId>(event.block_draw % live_blocks),
+                            event.time_seconds);
+        }
+      }
+      if (!Done()) {
+        queue->Schedule(NextTime(), [this] { RunNext(); });
+      }
+    }
+  };
+  EventQueue queue;
+  StorageCosimResult result;
+  Replay replay{&timeline, &name_node, &queue, &result, live_blocks};
+  if (!replay.Done()) {
+    queue.Schedule(replay.NextTime(), [&replay] { replay.RunNext(); });
+  }
+  queue.RunUntil(timeline.horizon_seconds);
+  // Let the tail of the re-replication queue drain.
+  name_node.ProcessRereplication(timeline.horizon_seconds + 30.0 * 24.0 * 3600.0);
+
+  result.stats = name_node.stats();
+  result.lost_percent = 100.0 * result.stats.LossFraction();
+  result.failed_access_percent = 100.0 * result.stats.FailedAccessFraction();
+  result.under_replicated_blocks = name_node.UnderReplicatedBlocks();
+  return result;
+}
+
+}  // namespace harvest

@@ -22,17 +22,17 @@ int NodeManager::ForecastPrimaryCores(double t, double window_seconds) const {
   if (!server_->utilization || server_->utilization->empty()) {
     return 0;
   }
-  constexpr double kDaySeconds = 86400.0;
-  double history_start = t - kDaySeconds;
-  double peak = 0.0;
   // Sample the previous day's window at slot granularity (plus one slot of
-  // margin on each side for alignment).
-  int samples = ForecastSampleCount(window_seconds);
+  // margin on each side for alignment). Integer slot arithmetic: the RM's
+  // incremental sliding-window maximum walks the same slots, so the two
+  // paths are exactly equivalent (the oracle test asserts it).
+  const int64_t start_slot = ForecastStartSlot(t);
+  const int samples = ForecastSampleCount(window_seconds);
+  double peak = 0.0;
   for (int i = 0; i < samples; ++i) {
-    peak = std::max(peak, server_->PrimaryUtilizationAt(history_start + i * kSlotSeconds));
+    peak = std::max(peak, ForecastSampleAt(*server_->utilization, start_slot + i));
   }
-  int cores = static_cast<int>(std::ceil(peak * server_->capacity.cores - 1e-9));
-  return std::min(server_->capacity.cores, std::max(0, cores));
+  return ForecastCoresFromPeak(peak, server_->capacity.cores);
 }
 
 Resources NodeManager::AvailableForTask(double t, double window_seconds) const {

@@ -6,6 +6,9 @@
 #ifndef HARVEST_SRC_SCHEDULER_NODE_MANAGER_H_
 #define HARVEST_SRC_SCHEDULER_NODE_MANAGER_H_
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -51,7 +54,9 @@ class NodeManager {
   Resources AvailableForTaskGiven(int primary_cores, int forecast_cores) const;
 
   // Forecast primary cores over [t, t + window] based on the previous day's
-  // telemetry, rounded up like the live reporting.
+  // telemetry, rounded up like the live reporting. Implemented in integer
+  // slot arithmetic (the helpers below) so the ResourceManager's sliding-
+  // window maximum provably inspects the identical sample set.
   int ForecastPrimaryCores(double t, double window_seconds) const;
 
   // Number of telemetry samples ForecastPrimaryCores inspects for a window.
@@ -59,6 +64,26 @@ class NodeManager {
   // RM keys its forecast cache on this.
   static int ForecastSampleCount(double window_seconds) {
     return static_cast<int>(window_seconds / kSlotSeconds) + 2;
+  }
+
+  // First trace slot the forecast window inspects: the same time of day one
+  // day earlier, at the slot resolution EnsureSlot caches on.
+  static int64_t ForecastStartSlot(double t) {
+    return static_cast<int64_t>(std::floor(t / kSlotSeconds)) -
+           static_cast<int64_t>(kSlotsPerDay);
+  }
+
+  // The trace value one forecast sample reads: negative slots clamp to the
+  // trace start (mirroring UtilizationTrace::AtTime before the horizon).
+  static double ForecastSampleAt(const UtilizationTrace& trace, int64_t slot) {
+    return trace.AtSlot(static_cast<size_t>(std::max<int64_t>(0, slot)));
+  }
+
+  // Shared rounding rule: peak utilization -> whole forecast cores.
+  static int ForecastCoresFromPeak(double peak_utilization, int capacity_cores) {
+    int cores = static_cast<int>(
+        std::ceil(peak_utilization * static_cast<double>(capacity_cores) - 1e-9));
+    return std::min(capacity_cores, std::max(0, cores));
   }
 
   // Historical statistics of the primary tenant on this server (whole-trace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "src/util/logging.h"
 
@@ -39,8 +40,27 @@ const char* SchedulerModeName(SchedulerMode mode) {
 ResourceManager::ResourceManager(const Cluster* cluster, SchedulerMode mode, Resources reserve)
     : cluster_(cluster), mode_(mode) {
   nodes_.reserve(cluster->num_servers());
+  node_trace_.reserve(cluster->num_servers());
+  // Group servers by their (shared) utilization trace: at DC scale a
+  // tenant's servers share one trace object, so one sliding window serves
+  // them all. Lookup only -- the map is never iterated, so its order cannot
+  // leak into results.
+  std::unordered_map<const UtilizationTrace*, int> trace_index;
   for (const auto& server : cluster->servers()) {
     nodes_.emplace_back(&server, reserve, mode);
+    const UtilizationTrace* trace = server.utilization.get();
+    if (trace == nullptr || trace->empty()) {
+      node_trace_.push_back(-1);
+      continue;
+    }
+    auto [it, inserted] =
+        trace_index.emplace(trace, static_cast<int>(trace_windows_.size()));
+    if (inserted) {
+      TraceWindow window;
+      window.trace = trace;
+      trace_windows_.push_back(std::move(window));
+    }
+    node_trace_.push_back(it->second);
   }
   std::vector<int> server_class(cluster->num_servers(), 0);
   SetServerClasses(std::move(server_class));
@@ -71,7 +91,9 @@ void ResourceManager::SetServerClasses(std::vector<int> server_class) {
   class_avail_cores_.assign(static_cast<size_t>(num_classes_), 0);
   class_util_slot_.assign(static_cast<size_t>(num_classes_), kNoSlot);
   class_util_value_.assign(static_cast<size_t>(num_classes_), 1.0);
-  cached_slot_ = kNoSlot;  // force a full rebuild on next use
+  cached_slot_ = kNoSlot;       // force a full rebuild on next use
+  forecast_start_slot_ = kNoSlot;  // including the forecast windows
+  forecast_samples_ = 0;
 }
 
 void ResourceManager::EnsureSlot(double t) const {
@@ -90,10 +112,55 @@ void ResourceManager::EnsureSlot(double t) const {
   RebuildAvailabilityAndWeights();
 }
 
+void ResourceManager::AdvanceTraceWindow(TraceWindow& window, int64_t start_slot, int samples,
+                                         bool rebuild) const {
+  const int64_t end_slot = start_slot + samples;  // exclusive
+  int64_t push_from = start_slot;
+  if (rebuild) {
+    window.window.clear();
+  } else {
+    // Slide: drop samples that left the window, append the ones that
+    // entered. The previous window was [forecast_start_slot_,
+    // forecast_start_slot_ + samples), so pushing resumes after its end.
+    push_from = std::max(start_slot, forecast_start_slot_ + samples);
+    while (!window.window.empty() && window.window.front().first < start_slot) {
+      window.window.pop_front();
+    }
+  }
+  for (int64_t slot = push_from; slot < end_slot; ++slot) {
+    const double value = NodeManager::ForecastSampleAt(*window.trace, slot);
+    while (!window.window.empty() && window.window.back().second <= value) {
+      window.window.pop_back();
+    }
+    window.window.emplace_back(slot, value);
+  }
+  window.peak = window.window.empty() ? 0.0 : window.window.front().second;
+}
+
 void ResourceManager::RefreshForecasts() const {
+  const int64_t start_slot = NodeManager::ForecastStartSlot(cache_time_);
+  const int samples = profile_.forecast_samples;
+  if (start_slot == forecast_start_slot_ && samples == forecast_samples_) {
+    return;  // same window -> same forecasts (pure function of slot+samples)
+  }
+  // A window-size change, a backward jump, or a jump past the whole window
+  // rebuilds from scratch (one naive-cost pass); the common slot-to-slot
+  // advance slides each deque in amortized O(1) per trace.
+  const bool rebuild = samples != forecast_samples_ || forecast_start_slot_ == kNoSlot ||
+                       start_slot < forecast_start_slot_ ||
+                       start_slot - forecast_start_slot_ >= samples;
+  for (TraceWindow& window : trace_windows_) {
+    AdvanceTraceWindow(window, start_slot, samples, rebuild);
+  }
+  forecast_start_slot_ = start_slot;
+  forecast_samples_ = samples;
   for (size_t s = 0; s < nodes_.size(); ++s) {
+    const int trace = node_trace_[s];
     node_forecast_cores_[s] =
-        nodes_[s].ForecastPrimaryCores(cache_time_, profile_.window_seconds);
+        trace < 0 ? 0
+                  : NodeManager::ForecastCoresFromPeak(
+                        trace_windows_[static_cast<size_t>(trace)].peak,
+                        nodes_[s].server().capacity.cores);
   }
 }
 

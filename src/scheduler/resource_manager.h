@@ -24,8 +24,10 @@
 #define HARVEST_SRC_SCHEDULER_RESOURCE_MANAGER_H_
 
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -101,6 +103,18 @@ class ResourceManager {
 
   static constexpr int64_t kNoSlot = std::numeric_limits<int64_t>::min();
 
+  // Monotonic-deque sliding-window maximum over one utilization trace's
+  // forecast window. Servers sharing a trace (per-tenant traces at DC scale)
+  // share one window; the per-server forecast is the window peak put through
+  // the shared rounding rule at that server's capacity.
+  struct TraceWindow {
+    const UtilizationTrace* trace = nullptr;
+    // (slot, value), front = current maximum; values at the back are
+    // strictly smaller than their predecessors.
+    std::deque<std::pair<int64_t, double>> window;
+    double peak = 0.0;
+  };
+
   // Refreshes the per-slot caches (primary cores, forecasts, availability,
   // weights, class aggregates) when `t` falls in a different telemetry slot
   // than the cached one.
@@ -109,7 +123,15 @@ class ResourceManager {
   // weight profile than the cached one. Requires a fresh slot.
   void EnsureProfile(const ContainerRequest& request);
   // Recomputes every node's forecast for the cached profile (history mode).
+  // Incremental: a slot-to-slot advance slides each trace's monotonic deque
+  // (amortized O(1) per trace per slot) instead of rescanning the whole
+  // O(window) sample set per server -- the ROADMAP-flagged H-mode refresh
+  // fix. Exactly equivalent to the naive per-node scan by construction
+  // (same integer slot walk; rm_oracle_test audits it).
   void RefreshForecasts() const;
+  // Slides (or rebuilds) one trace window to [start_slot, start_slot+samples).
+  void AdvanceTraceWindow(TraceWindow& window, int64_t start_slot, int samples,
+                          bool rebuild) const;
   // Recomputes per-node availability + class aggregates from cached primary
   // cores, and (when a profile is cached) all weights + Fenwick trees.
   void RebuildAvailabilityAndWeights() const;
@@ -137,6 +159,12 @@ class ResourceManager {
   PlacementProfile profile_;
   mutable std::vector<int> node_primary_cores_;
   mutable std::vector<int> node_forecast_cores_;
+  // Forecast sliding windows: one per distinct utilization trace, plus each
+  // server's window index (-1 = no trace, forecast 0).
+  mutable std::vector<TraceWindow> trace_windows_;
+  std::vector<int> node_trace_;
+  mutable int64_t forecast_start_slot_ = kNoSlot;
+  mutable int forecast_samples_ = 0;
   mutable std::vector<Resources> node_avail_;
   mutable std::vector<int64_t> node_weight_;
   // Placement samplers: all servers in ServerId order (label-free requests)

@@ -6,6 +6,7 @@
 #ifndef HARVEST_SRC_STORAGE_DATA_NODE_H_
 #define HARVEST_SRC_STORAGE_DATA_NODE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -31,31 +32,25 @@ class DataNode {
     return server_->PrimaryUtilizationAt(t) > kBusyUtilizationThreshold;
   }
 
-  bool HasSpace() const { return used_blocks_ < capacity_blocks_; }
-  int64_t used_blocks() const { return used_blocks_; }
+  bool HasSpace() const { return static_cast<int64_t>(blocks_.size()) < capacity_blocks_; }
+  int64_t used_blocks() const { return static_cast<int64_t>(blocks_.size()); }
   int64_t capacity_blocks() const { return capacity_blocks_; }
 
-  // Replica bookkeeping. The block list is append-only with lazy deletion;
-  // the NameNode validates entries against its authoritative block map when
-  // the disk is reimaged.
-  void AddReplica(BlockId block) {
-    blocks_.push_back(block);
-    ++used_blocks_;
-  }
-  void DropReplica() { --used_blocks_; }
+  // Exact per-server replica index: `blocks_` holds exactly the blocks with
+  // a live replica here, so a reimage touches precisely the affected blocks
+  // (no stale entries, no lazy-deletion scans). Replicas only ever leave a
+  // server wholesale (the disk wipe below); the NameNode's audit rescans the
+  // index against the authoritative block map.
+  const std::vector<BlockId>& blocks() const { return blocks_; }
 
-  // All block ids ever hosted (may contain stale entries); cleared on wipe.
-  std::vector<BlockId> TakeBlocksForWipe() {
-    std::vector<BlockId> wiped = std::move(blocks_);
-    blocks_.clear();
-    used_blocks_ = 0;
-    return wiped;
-  }
+  void AddReplica(BlockId block) { blocks_.push_back(block); }
+
+  // Drops the whole index (disk reimaged). The caller walks blocks() first.
+  void WipeAll() { blocks_.clear(); }
 
  private:
   const Server* server_ = nullptr;
   int64_t capacity_blocks_ = 0;
-  int64_t used_blocks_ = 0;
   std::vector<BlockId> blocks_;
 };
 

@@ -30,6 +30,11 @@ bool NameNode::ServerHasSpace(ServerId server, BlockId block) const {
   return true;
 }
 
+void NameNode::AddReplicaToServer(BlockId block, ServerId server) {
+  data_nodes_[static_cast<size_t>(server)].AddReplica(block);
+  blocks_[static_cast<size_t>(block)].replicas.push_back(server);
+}
+
 BlockId NameNode::CreateBlock(ServerId writer, double now) {
   (void)now;
   BlockId id = static_cast<BlockId>(blocks_.size());
@@ -42,13 +47,14 @@ BlockId NameNode::CreateBlock(ServerId writer, double now) {
   if (placed.empty()) {
     return -1;
   }
-  BlockState state;
-  state.replicas = placed;
-  blocks_.push_back(std::move(state));
+  blocks_.emplace_back();
   for (ServerId s : placed) {
-    data_nodes_[static_cast<size_t>(s)].AddReplica(id);
+    AddReplicaToServer(id, s);
   }
   ++stats_.blocks_created;
+  if (IsUnderReplicated(blocks_.back())) {
+    ++under_replicated_;
+  }
   return id;
 }
 
@@ -101,14 +107,22 @@ void NameNode::OnReimage(ServerId server, double now) {
   ProcessRereplication(now);
 
   DataNode& dn = data_nodes_[static_cast<size_t>(server)];
-  std::vector<BlockId> wiped = dn.TakeBlocksForWipe();
-  for (BlockId block : wiped) {
+  // The index is exact: every entry is a live replica of a distinct block.
+  // Detach them from the block map first, then drop the whole index at once
+  // (cheaper than per-entry swap-removes that would only shuffle a list
+  // about to be cleared).
+  for (BlockId block : dn.blocks()) {
     BlockState& state = blocks_[static_cast<size_t>(block)];
-    auto it = std::find(state.replicas.begin(), state.replicas.end(), server);
-    if (it == state.replicas.end()) {
-      continue;  // stale entry (replica already moved elsewhere)
+    const bool was_under = IsUnderReplicated(state);
+    size_t index = 0;
+    while (index < state.replicas.size() && state.replicas[index] != server) {
+      ++index;
     }
-    state.replicas.erase(it);
+    HARVEST_CHECK(index < state.replicas.size())
+        << "DN index out of sync: block " << block << " not on server " << server;
+    // Ordered erase (<= replication entries): replica order is part of the
+    // deterministic tie-breaking in source selection.
+    state.replicas.erase(state.replicas.begin() + static_cast<std::ptrdiff_t>(index));
     ++stats_.replicas_destroyed;
     if (state.lost) {
       continue;
@@ -118,10 +132,17 @@ void NameNode::OnReimage(ServerId server, double now) {
       // replicas cannot complete: the data is unrecoverable.
       state.lost = true;
       ++stats_.blocks_lost;
+      if (was_under) {
+        --under_replicated_;
+      }
       continue;
+    }
+    if (!was_under) {
+      ++under_replicated_;
     }
     QueueRereplication(block, now);
   }
+  dn.WipeAll();
 }
 
 void NameNode::ProcessRereplication(double now) {
@@ -154,7 +175,8 @@ void NameNode::ProcessRereplication(double now) {
     };
     // Order the existing list so the source leads (it acts as the writer in
     // the default policy).
-    std::vector<ServerId> existing;
+    std::vector<ServerId>& existing = existing_scratch_;
+    existing.clear();
     existing.push_back(pending.source);
     for (ServerId s : state.replicas) {
       if (s != pending.source) {
@@ -165,17 +187,90 @@ void NameNode::ProcessRereplication(double now) {
     if (destination == kInvalidServer) {
       continue;  // cluster too full to heal; stay under-replicated
     }
-    state.replicas.push_back(destination);
-    data_nodes_[static_cast<size_t>(destination)].AddReplica(pending.block);
+    AddReplicaToServer(pending.block, destination);
     ++stats_.rereplications_completed;
     if (static_cast<int>(state.replicas.size()) < options_.replication) {
       QueueRereplication(pending.block, pending.ready_time);
+    } else {
+      --under_replicated_;  // healed back to target
     }
   }
 }
 
 int NameNode::LiveReplicas(BlockId block) const {
   return static_cast<int>(blocks_[static_cast<size_t>(block)].replicas.size());
+}
+
+bool NameNode::AuditStateForTest(std::string* error) const {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  // Dense rescan of the authoritative block map.
+  int64_t lost = 0;
+  int64_t under = 0;
+  int64_t inflight_total = 0;
+  std::vector<int64_t> per_server(data_nodes_.size(), 0);
+  for (size_t b = 0; b < blocks_.size(); ++b) {
+    const BlockState& state = blocks_[b];
+    if (state.lost) {
+      ++lost;
+      if (!state.replicas.empty()) {
+        return fail("lost block " + std::to_string(b) + " still has replicas");
+      }
+    } else if (static_cast<int>(state.replicas.size()) < options_.replication) {
+      ++under;
+    }
+    for (size_t i = 0; i < state.replicas.size(); ++i) {
+      const size_t s = static_cast<size_t>(state.replicas[i]);
+      ++per_server[s];
+      for (size_t j = i + 1; j < state.replicas.size(); ++j) {
+        if (state.replicas[j] == state.replicas[i]) {
+          return fail("block " + std::to_string(b) + " has duplicate replicas on server " +
+                      std::to_string(s));
+        }
+      }
+    }
+    inflight_total += state.inflight;
+    if (state.inflight < 0) {
+      return fail("negative inflight count for block " + std::to_string(b));
+    }
+  }
+  // Index exactness: every DN entry is a live replica of that block here,
+  // and the index cardinality matches the rescan (together with the
+  // per-block duplicate check above this is set equality).
+  for (size_t s = 0; s < data_nodes_.size(); ++s) {
+    const DataNode& dn = data_nodes_[s];
+    if (dn.used_blocks() != per_server[s]) {
+      return fail("DN index size mismatch for server " + std::to_string(s) + ": index " +
+                  std::to_string(dn.used_blocks()) + " vs rescan " +
+                  std::to_string(per_server[s]));
+    }
+    for (BlockId block : dn.blocks()) {
+      const auto& replicas = blocks_[static_cast<size_t>(block)].replicas;
+      if (std::find(replicas.begin(), replicas.end(), static_cast<ServerId>(s)) ==
+          replicas.end()) {
+        return fail("DN index of server " + std::to_string(s) + " holds stale block " +
+                    std::to_string(block));
+      }
+    }
+  }
+  if (lost != stats_.blocks_lost) {
+    return fail("loss aggregate mismatch: " + std::to_string(stats_.blocks_lost) +
+                " cached vs " + std::to_string(lost) + " rescanned");
+  }
+  if (under != under_replicated_) {
+    return fail("under-replication aggregate mismatch: " + std::to_string(under_replicated_) +
+                " cached vs " + std::to_string(under) + " rescanned");
+  }
+  if (inflight_total != static_cast<int64_t>(rereplication_queue_.size())) {
+    return fail("inflight sum " + std::to_string(inflight_total) +
+                " does not match queue size " +
+                std::to_string(rereplication_queue_.size()));
+  }
+  return true;
 }
 
 }  // namespace harvest

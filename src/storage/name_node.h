@@ -3,12 +3,22 @@
 // policy, excludes busy servers from the replica lists given to clients, and
 // re-creates lost replicas after missed heartbeats without overloading the
 // network (30 blocks/hour/server).
+//
+// Accounting is *incremental* so the storage co-simulation hot path is
+// O(affected) per event instead of O(num_blocks) rescans: each DataNode
+// keeps an exact index of the blocks it hosts (with the NameNode tracking
+// every replica's slot in that index), re-replication is a queue keyed by
+// heal-completion time, and loss / under-replication / failed-access
+// aggregates are maintained at every transition. AuditStateForTest()
+// recomputes all of it by dense rescan; tests/storage_oracle_test.cc drives
+// randomized reimage/access sequences against it.
 
 #ifndef HARVEST_SRC_STORAGE_NAME_NODE_H_
 #define HARVEST_SRC_STORAGE_NAME_NODE_H_
 
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -76,7 +86,8 @@ class NameNode {
   // The disk of `server` was reimaged at `now`: all replicas on it are
   // destroyed; re-replication of the survivors is queued after the detection
   // delay, throttled per source server. Lost blocks are counted when their
-  // last replica dies before re-replication completes.
+  // last replica dies before re-replication completes. Touches only the
+  // blocks hosted on `server` (the DataNode index is exact).
   void OnReimage(ServerId server, double now);
 
   // Completes all re-replications scheduled at or before `now`. Must be
@@ -92,13 +103,22 @@ class NameNode {
   bool Lost(BlockId block) const { return blocks_[static_cast<size_t>(block)].lost; }
 
   const StorageStats& stats() const { return stats_; }
+  // Live blocks currently below their target replication (running aggregate).
+  int64_t UnderReplicatedBlocks() const { return under_replicated_; }
   const PlacementPolicy& policy() const { return *policy_; }
   DataNode& data_node(ServerId id) { return data_nodes_[static_cast<size_t>(id)]; }
   int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
 
+  // Test hook (mirror of ResourceManager::AuditCachesForTest): recomputes
+  // every incremental quantity -- the exact per-server indexes, the loss
+  // and under-replication aggregates, in-flight heal counts -- by dense
+  // rescan of the authoritative block map and compares exactly. Returns
+  // false and fills `error` on the first mismatch.
+  bool AuditStateForTest(std::string* error) const;
+
  private:
   struct BlockState {
-    std::vector<ServerId> replicas;  // live replicas
+    std::vector<ServerId> replicas;  // live replicas, in creation/heal order
     int inflight = 0;                // re-replications under way
     bool lost = false;
   };
@@ -116,6 +136,11 @@ class NameNode {
   bool ServerHasSpace(ServerId server, BlockId block) const;
   // Queues one re-replication for `block`, choosing the least-loaded source.
   void QueueRereplication(BlockId block, double now);
+  // Attaches a replica of `block` on `server`, updating the DN index.
+  void AddReplicaToServer(BlockId block, ServerId server);
+  bool IsUnderReplicated(const BlockState& state) const {
+    return !state.lost && static_cast<int>(state.replicas.size()) < options_.replication;
+  }
 
   const Cluster* cluster_;
   std::unique_ptr<PlacementPolicy> policy_;
@@ -128,6 +153,9 @@ class NameNode {
   std::priority_queue<PendingRereplication, std::vector<PendingRereplication>, ReadyAfter>
       rereplication_queue_;
   StorageStats stats_;
+  int64_t under_replicated_ = 0;
+  // Scratch for ProcessRereplication (keeps the heal path allocation-free).
+  std::vector<ServerId> existing_scratch_;
 };
 
 }  // namespace harvest

@@ -65,8 +65,10 @@ StockPlacement::StockPlacement(const Cluster* cluster) : cluster_(cluster) {
     max_rack = std::max(max_rack, server.rack);
   }
   rack_servers_.assign(static_cast<size_t>(max_rack) + 1, {});
+  all_servers_.reserve(cluster->num_servers());
   for (const auto& server : cluster->servers()) {
     rack_servers_[static_cast<size_t>(server.rack)].push_back(server.id);
+    all_servers_.push_back(server.id);
   }
 }
 
@@ -103,12 +105,7 @@ std::vector<ServerId> StockPlacement::Place(ServerId writer, int replication,
     }
     if (pick == kInvalidServer) {
       // Exhaustive fallback over all servers.
-      std::vector<ServerId> all;
-      all.reserve(cluster_->num_servers());
-      for (const auto& server : cluster_->servers()) {
-        all.push_back(server.id);
-      }
-      pick = PickFrom(all, replicas, has_space, rng);
+      pick = PickFrom(all_servers_, replicas, has_space, rng);
     }
     if (pick == kInvalidServer) {
       break;
@@ -118,20 +115,23 @@ std::vector<ServerId> StockPlacement::Place(ServerId writer, int replication,
   return replicas;
 }
 
+RandomPlacement::RandomPlacement(const Cluster* cluster) : cluster_(cluster) {
+  all_servers_.reserve(cluster->num_servers());
+  for (const auto& server : cluster->servers()) {
+    all_servers_.push_back(server.id);
+  }
+}
+
 std::vector<ServerId> RandomPlacement::Place(ServerId writer, int replication,
                                              const ServerSpaceFilter& has_space,
                                              Rng& rng) const {
   std::vector<ServerId> replicas;
+  replicas.reserve(static_cast<size_t>(replication));
   if (has_space(writer)) {
     replicas.push_back(writer);
   }
-  std::vector<ServerId> all;
-  all.reserve(cluster_->num_servers());
-  for (const auto& server : cluster_->servers()) {
-    all.push_back(server.id);
-  }
   while (static_cast<int>(replicas.size()) < replication) {
-    ServerId pick = PickFrom(all, replicas, has_space, rng);
+    ServerId pick = PickFrom(all_servers_, replicas, has_space, rng);
     if (pick == kInvalidServer) {
       break;
     }

@@ -51,17 +51,21 @@ class StockPlacement : public PlacementPolicy {
   const Cluster* cluster_;
   // rack -> servers, for same-rack / remote-rack picks.
   std::vector<std::vector<ServerId>> rack_servers_;
+  // Every server, for the exhaustive fallback (prebuilt: the fallback fires
+  // on nearly-full fleets, where rebuilding it per block dominated).
+  std::vector<ServerId> all_servers_;
 };
 
 class RandomPlacement : public PlacementPolicy {
  public:
-  explicit RandomPlacement(const Cluster* cluster) : cluster_(cluster) {}
+  explicit RandomPlacement(const Cluster* cluster);
   std::vector<ServerId> Place(ServerId writer, int replication,
                               const ServerSpaceFilter& has_space, Rng& rng) const override;
   const char* name() const override { return "HDFS-Random"; }
 
  private:
   const Cluster* cluster_;
+  std::vector<ServerId> all_servers_;  // prebuilt uniform pool
 };
 
 class HistoryPlacement : public PlacementPolicy {

@@ -37,6 +37,15 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// Independent 64-bit stream per (seed, tag): adding or disabling one
+// consumer never shifts another's randomness. The driver derives every
+// per-stage stream this way; the storage co-simulation uses it for its
+// paired writer/policy streams.
+inline uint64_t DerivedStreamSeed(uint64_t seed, std::string_view tag) {
+  uint64_t state = seed ^ StableHash(tag);
+  return SplitMix64(state);
+}
+
 // xoshiro256++ generator with convenience distributions.
 class Rng {
  public:

@@ -66,7 +66,7 @@ TEST(JsonWriterTest, DoubleFormattingIsStable) {
 
 TEST(ScenarioTest, PresetsExistWithUniqueNames) {
   const auto& scenarios = AllScenarios();
-  ASSERT_GE(scenarios.size(), 6u);
+  ASSERT_GE(scenarios.size(), 7u);
   for (size_t i = 0; i < scenarios.size(); ++i) {
     EXPECT_FALSE(scenarios[i].name.empty());
     EXPECT_FALSE(scenarios[i].description.empty());
@@ -80,6 +80,7 @@ TEST(ScenarioTest, PresetsExistWithUniqueNames) {
   EXPECT_NE(FindScenario("hetero_shapes"), nullptr);
   EXPECT_NE(FindScenario("week_horizon"), nullptr);
   EXPECT_NE(FindScenario("storm_under_load"), nullptr);
+  EXPECT_NE(FindScenario("storage_stress"), nullptr);
   EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
 }
 
@@ -96,6 +97,14 @@ TEST(ScenarioTest, NewPresetsCoverTheRoadmapAxes) {
   ASSERT_NE(storm, nullptr);
   EXPECT_TRUE(storm->reimage_storm);
   EXPECT_TRUE(storm->run_scheduling);
+
+  const ScenarioConfig* stress = FindScenario("storage_stress");
+  ASSERT_NE(stress, nullptr);
+  EXPECT_TRUE(stress->reimage_storm);
+  EXPECT_GT(stress->access_rate, 0.0);
+  EXPECT_EQ(stress->placement_kinds.size(), 5u);
+  EXPECT_GE(stress->replications.size(), 2u);
+  EXPECT_TRUE(stress->run_availability);
 }
 
 TEST(ScenarioTest, ScalingClampsToWellFormedFloors) {
@@ -103,14 +112,14 @@ TEST(ScenarioTest, ScalingClampsToWellFormedFloors) {
   ASSERT_NE(testbed, nullptr);
   ScenarioConfig tiny = ScaledScenario(*testbed, 1e-6);
   EXPECT_GE(tiny.testbed_servers, 42);
-  EXPECT_GE(tiny.durability_blocks, 1000);
+  EXPECT_GE(tiny.storage_blocks, 1000);
   EXPECT_GE(tiny.availability_blocks, 1000);
   EXPECT_GE(tiny.availability_accesses, 5000);
   EXPECT_GE(tiny.placement_sample_blocks, 100);
 
   ScenarioConfig same = ScaledScenario(*testbed, 1.0);
   EXPECT_EQ(same.testbed_servers, testbed->testbed_servers);
-  EXPECT_EQ(same.durability_blocks, testbed->durability_blocks);
+  EXPECT_EQ(same.storage_blocks, testbed->storage_blocks);
 }
 
 TEST(ScenarioRegistryTest, RejectsDuplicateAndUnnamedRegistrations) {
@@ -155,8 +164,17 @@ TEST(ScenarioOverrideTest, RoundTripsEveryKnobKind) {
   EXPECT_DOUBLE_EQ(config.fleet_scale, 0.5);
   ASSERT_TRUE(ApplyScenarioOverride(config, "run_durability", "false", &error)) << error;
   EXPECT_FALSE(config.run_durability);
-  ASSERT_TRUE(ApplyScenarioOverride(config, "durability_blocks", "2500", &error)) << error;
-  EXPECT_EQ(config.durability_blocks, 2500);
+  ASSERT_TRUE(ApplyScenarioOverride(config, "storage_blocks", "2500", &error)) << error;
+  EXPECT_EQ(config.storage_blocks, 2500);
+  // The deprecated alias still lands on the same field.
+  ASSERT_TRUE(ApplyScenarioOverride(config, "durability_blocks", "3000", &error)) << error;
+  EXPECT_EQ(config.storage_blocks, 3000);
+  ASSERT_TRUE(ApplyScenarioOverride(config, "access_rate", "6.5", &error)) << error;
+  EXPECT_DOUBLE_EQ(config.access_rate, 6.5);
+  ASSERT_TRUE(ApplyScenarioOverride(config, "placement_kinds", "stock,history,soft", &error))
+      << error;
+  ASSERT_EQ(config.placement_kinds.size(), 3u);
+  EXPECT_EQ(config.placement_kinds[2], PlacementKind::kSoft);
   ASSERT_TRUE(ApplyScenarioOverride(config, "datacenters", "DC-1,DC-4", &error)) << error;
   ASSERT_EQ(config.datacenters.size(), 2u);
   EXPECT_EQ(config.datacenters[0], "DC-1");
@@ -195,6 +213,11 @@ TEST(ScenarioOverrideTest, UnknownKeyAndMalformedValueAreUsageErrors) {
   EXPECT_FALSE(ApplyScenarioOverride(config, "scheduling_storage", "hdfs", &error));
   EXPECT_FALSE(ApplyScenarioOverride(config, "server_shapes", "12@0.5", &error));
   EXPECT_FALSE(ApplyScenarioOverride(config, "storm_fraction", "1.5", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "placement_kinds", "stock,hdfs", &error));
+  EXPECT_NE(error.find("placement kind"), std::string::npos);
+  EXPECT_FALSE(ApplyScenarioOverride(config, "placement_kinds", "stock,stock", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "placement_kinds", "", &error));
+  EXPECT_FALSE(ApplyScenarioOverride(config, "access_rate", "-1", &error));
   // Out-of-range values must error, not clamp (ERANGE) or truncate (narrowing).
   EXPECT_FALSE(
       ApplyScenarioOverride(config, "durability_blocks", "99999999999999999999", &error));
@@ -253,7 +276,7 @@ TEST(ResultJsonTest, RendersOverridesAndTopLevelFields) {
   result.scale = 0.5;
   result.overrides = {"fleet_scale=0.5", "run_durability=false"};
   std::string json = RenderScenarioJson(result);
-  EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"fleet_scale=0.5\""), std::string::npos);
   EXPECT_NE(json.find("\"run_durability=false\""), std::string::npos);
   EXPECT_NE(json.find("\"datacenters\": []"), std::string::npos);
@@ -377,7 +400,9 @@ TEST(DriverPipelineTest, TypedResultsMatchRenderedJsonAndSummary) {
   EXPECT_GT(dc.fleet.servers, 0u);
   EXPECT_TRUE(dc.has_durability);
   EXPECT_FALSE(dc.has_scheduling);
-  EXPECT_EQ(dc.durability.cells.size(), 2u * scenario->replications.size());
+  EXPECT_EQ(dc.durability.cells.size(),
+            scenario->placement_kinds.size() * scenario->replications.size());
+  EXPECT_EQ(dc.durability.placement_kinds.size(), scenario->placement_kinds.size());
   // Re-rendering the typed results reproduces the run's JSON exactly.
   EXPECT_EQ(RenderScenarioJson(run.result), run.json);
   // And the summary is a pure function of the typed results.
@@ -385,6 +410,58 @@ TEST(DriverPipelineTest, TypedResultsMatchRenderedJsonAndSummary) {
   EXPECT_EQ(summary.datacenters, run.summary.datacenters);
   EXPECT_EQ(summary.servers, run.summary.servers);
   EXPECT_DOUBLE_EQ(summary.worst_stock_lost_percent, run.summary.worst_stock_lost_percent);
+}
+
+// ISSUE-4 acceptance: the storage grid exercises every declared
+// PlacementKind by default, and the JSON grid schema names them all --
+// nothing silently drops kRandom/kGreedy/kSoft anymore.
+TEST(DriverPipelineTest, StorageGridCoversAllFivePlacementKinds) {
+  const ScenarioConfig* scenario = FindScenario("reimage_storm");
+  ASSERT_NE(scenario, nullptr);
+  ASSERT_EQ(scenario->placement_kinds.size(), 5u);
+  ScenarioRunOptions options;
+  options.seed = 11;
+  options.scale = 0.05;
+  ScenarioRunResult run = RunScenario(*scenario, options);
+  for (PlacementKind kind : AllPlacementKinds()) {
+    const std::string quoted = std::string("\"") + PlacementKindName(kind) + "\"";
+    EXPECT_NE(run.json.find(quoted), std::string::npos)
+        << PlacementKindName(kind) << " missing from scenario JSON";
+  }
+  // Grid shape: kinds x replications cells, kind-minor, with the axes
+  // rendered ahead of the cells.
+  ASSERT_EQ(run.result.datacenters.size(), 1u);
+  const DurabilityStageResult& durability = run.result.datacenters[0].durability;
+  ASSERT_EQ(durability.cells.size(), 5u * scenario->replications.size());
+  for (size_t i = 0; i < durability.cells.size(); ++i) {
+    EXPECT_EQ(durability.cells[i].placement, durability.placement_kinds[i % 5]);
+    EXPECT_EQ(durability.cells[i].replication,
+              scenario->replications[i / 5]);
+  }
+  EXPECT_NE(run.json.find("\"placement_kinds\""), std::string::npos);
+}
+
+// The access_rate axis: reads riding the reimage timeline observe blocks
+// mid-heal, so the durability cells report access outcomes.
+TEST(DriverPipelineTest, AccessRateInjectsReadsIntoTheDurabilityTimeline) {
+  ScenarioConfig config = *FindScenario("reimage_storm");
+  std::string error;
+  ASSERT_TRUE(ApplyScenarioOverride(config, "access_rate", "40", &error)) << error;
+  ASSERT_TRUE(ApplyScenarioOverride(config, "placement_kinds", "stock,history", &error))
+      << error;
+  ScenarioRunOptions options;
+  options.seed = 11;
+  options.scale = 0.05;
+  ScenarioRunResult run = RunScenario(config, options);
+  ASSERT_EQ(run.result.datacenters.size(), 1u);
+  const DurabilityStageResult& durability = run.result.datacenters[0].durability;
+  ASSERT_FALSE(durability.cells.empty());
+  for (const DurabilityCellResult& cell : durability.cells) {
+    EXPECT_GT(cell.accesses, 0) << cell.placement << " r" << cell.replication;
+  }
+  // Paired comparison: every cell of one replication saw the same accesses.
+  EXPECT_EQ(durability.cells[0].accesses, durability.cells[1].accesses);
+  EXPECT_NE(run.json.find("\"accesses\""), std::string::npos);
 }
 
 TEST(DriverPipelineTest, SchedulingStageEmitsPerClassDiagnostics) {

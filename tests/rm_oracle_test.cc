@@ -183,6 +183,37 @@ void RunOracle(SchedulerMode mode, uint64_t seed) {
   EXPECT_GE(kOperationsPerMode, 1000);
 }
 
+// The H-mode forecast refresh is a sliding-window maximum (one monotonic
+// deque per trace) instead of the historical O(servers x window) rescan per
+// slot. AuditCachesForTest recomputes every node's forecast with the naive
+// per-sample scan (NodeManager::ForecastPrimaryCores) at the cached slot, so
+// this drives the window through every transition shape -- sub-slot steps,
+// single-slot advances, multi-slot jumps, jumps past the whole window, and
+// window-size (sample-count) switches -- and asserts exact equivalence.
+TEST(RmOracleTest, SlidingWindowForecastMatchesNaiveScanAcrossJumpsAndWindows) {
+  Rng build_rng(7);
+  Cluster cluster = BuildTestbedCluster(24, kSlotsPerDay, build_rng);
+  ResourceManager rm(&cluster, SchedulerMode::kHistory, kDefaultReserve);
+  Rng rng(99);
+  const double steps[] = {30.0,    120.0,   360.0,  5000.0, 45000.0,
+                          130000.0, 50.0,   240.0,  11.0,   86400.0};
+  double t = 0.0;
+  for (int op = 0; op < 60; ++op) {
+    t += steps[static_cast<size_t>(op) % (sizeof(steps) / sizeof(steps[0]))];
+    ContainerRequest request;
+    request.job = op;
+    request.count = 1;
+    request.resources = Resources{1, 2048};
+    // Alternate forecast windows: the 3 h floor and a 5.5 h long-task
+    // window, so the deque is rebuilt on sample-count changes too.
+    request.task_seconds = (op % 3 == 0) ? 5.5 * 3600.0 : 60.0;
+    request.history_aware = true;
+    rm.Allocate(request, t, rng);
+    std::string error;
+    ASSERT_TRUE(rm.AuditCachesForTest(&error)) << "op " << op << " t=" << t << ": " << error;
+  }
+}
+
 TEST(RmOracleTest, IncrementalAccountingMatchesFullRescanPtMode) {
   RunOracle(SchedulerMode::kPrimaryAware, 101);
 }

@@ -37,4 +37,24 @@ for scenario in $("$BIN" --list-names); do
     fi
   done
 done
+
+# The storage grid's cells run as tasks on the same deterministic executor;
+# a derived grid (reduced kind axis + an access load riding the durability
+# timeline) must be byte-identical across thread counts too.
+GRID_SETS=(--set placement_kinds=stock,history,soft --set access_rate=40
+           --set replications=3,4)
+"$BIN" --scenario=reimage_storm "${GRID_SETS[@]}" --seed="$SEED" --scale="$SCALE" \
+  --threads=1 --out="$tmp/grid.raw.json" 2>/dev/null
+strip_timing "$tmp/grid.raw.json" > "$tmp/grid.json"
+for threads in 2 8; do
+  "$BIN" --scenario=reimage_storm "${GRID_SETS[@]}" --seed="$SEED" --scale="$SCALE" \
+    --threads="$threads" --out="$tmp/grid$threads.raw.json" 2>/dev/null
+  strip_timing "$tmp/grid$threads.raw.json" > "$tmp/grid$threads.json"
+  if cmp -s "$tmp/grid.json" "$tmp/grid$threads.json"; then
+    echo "OK: derived storage grid --threads=$threads matches --threads=1"
+  else
+    echo "FAIL: derived storage grid differs between --threads=1 and --threads=$threads" >&2
+    status=1
+  fi
+done
 exit $status
