@@ -25,19 +25,38 @@ RankingWeights RankingWeights::Default() {
 }
 
 double ClassSelector::Headroom(JobType type, const UtilizationClass& cls,
-                               double current_utilization) const {
+                               const ClassState& state) const {
   double utilization;
   switch (type) {
     case JobType::kShort:
       // Knowing the current utilization is enough for a short job.
-      utilization = current_utilization;
+      utilization = state.current_utilization;
       break;
-    case JobType::kMedium:
-      utilization = std::max(cls.average_utilization, current_utilization);
+    case JobType::kMedium: {
+      // A medium job outlives "now" but not the day: discount against the
+      // history forecast of the class's near future, not the all-day
+      // average. The average hid imminent diurnal ramps -- a periodic class
+      // entering its busy phase kept looking as safe as a flat constant one,
+      // which is where the excess YARN-H reserve kills of the fleet_sweep
+      // regression came from.
+      const double predicted = state.forecast_utilization >= 0.0
+                                   ? state.forecast_utilization
+                                   : cls.average_utilization;
+      utilization = std::max(predicted, state.current_utilization);
       break;
-    case JobType::kLong:
-      utilization = std::max(cls.peak_utilization, current_utilization);
+    }
+    case JobType::kLong: {
+      // Long jobs want assurance over their (multi-hour) lifetime, not over
+      // the whole horizon: the time-resolved forecast admits them to a
+      // periodic class's trough and turns them away near its ramp, where the
+      // horizon peak excluded the class categorically -- at small fleet
+      // scales that walled whole single-tenant classes off for good.
+      const double predicted = state.long_forecast_utilization >= 0.0
+                                   ? state.long_forecast_utilization
+                                   : cls.peak_utilization;
+      utilization = std::max(predicted, state.current_utilization);
       break;
+    }
     default:
       utilization = 1.0;
   }
@@ -59,14 +78,23 @@ ClassSelection ClassSelector::Select(JobType type, int required_cores,
   std::vector<double> headroom(classes.size(), 0.0);
   std::vector<int> core_room(classes.size(), 0);
   for (size_t c = 0; c < classes.size(); ++c) {
-    headroom[c] = Headroom(type, classes[c], states[c].current_utilization);
+    headroom[c] = Headroom(type, classes[c], states[c]);
     // Live availability already excludes primary usage + reserve; the
     // type-dependent headroom further discounts classes whose history says
     // the resources will not stay free for this job type.
     core_room[c] = std::min(states[c].available_cores,
                             static_cast<int>(headroom[c] * classes[c].total_cores));
     double w = weights_.weight[static_cast<int>(type)][static_cast<int>(classes[c].pattern)];
-    weighted[c] = headroom[c] * w * (core_room[c] > 0 ? 1.0 : 0.0);
+    // The pick probability is rank weight x *core* headroom, not the bare
+    // headroom fraction: the RM balances load across eligible servers in
+    // proportion to available resources (§5.3), and the class pick must do
+    // the same or a 10-server class draws jobs as often as a 1000-server one
+    // with equal headroom. Capacity-blind picks concentrated whole workloads
+    // onto one big class in low-variation datacenters and made YARN-H suffer
+    // *more* reserve kills than the PT baseline (the fleet_sweep 45%-target
+    // regression); weighting by core room recovers PT's proportional spread
+    // while the headroom baked into core_room keeps steering by history.
+    weighted[c] = static_cast<double>(core_room[c]) * w;
   }
 
   // Single-class fit (lines 8-11).

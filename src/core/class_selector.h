@@ -7,13 +7,18 @@
 //     traversal of its DAG.
 //   * Each class's *headroom* for a job type is:
 //       short  : 1 - current average CPU utilization
-//       medium : 1 - max(average utilization, current utilization)
-//       long   : 1 - max(peak utilization,    current utilization)
+//       medium : 1 - max(forecast peak utilization, current utilization)
+//                (forecast = the day-ago history window RM-H placement uses;
+//                 falls back to the class window average without one)
+//       long   : 1 - max(long-window forecast peak, current utilization)
+//                (twice the medium window; falls back to the class's
+//                 sustained peak without one)
 //   * Classes are ranked per type with weights (long prefers constant, short
 //     prefers unpredictable, medium prefers periodic) and one class is picked
-//     probabilistically proportional to weighted headroom; when no single
-//     class fits, multiple classes are combined; when nothing fits, the job
-//     is not scheduled.
+//     probabilistically proportional to rank weight x core headroom (the
+//     headroom fraction applied to the class's live capacity, mirroring the
+//     RM's available-resource balancing); when no single class fits, multiple
+//     classes are combined; when nothing fits, the job is not scheduled.
 
 #ifndef HARVEST_SRC_CORE_CLASS_SELECTOR_H_
 #define HARVEST_SRC_CORE_CLASS_SELECTOR_H_
@@ -45,6 +50,18 @@ struct ClassState {
   // Cores the class can currently host for secondary tenants (capacity minus
   // primary usage, reserve, and existing secondary allocations).
   int available_cores = 0;
+  // History-based forecasts of the class's peak utilization over the near
+  // future, read from the same day-ago telemetry RM-H task placement uses:
+  // `forecast_utilization` looks kMinForecastWindowSeconds ahead (medium
+  // jobs), `long_forecast_utilization` twice that (long jobs). Discounting
+  // against the time-resolved forecast instead of whole-horizon statistics
+  // is what lets jobs ride a periodic class through its trough while still
+  // avoiding it near a ramp -- a class whose tenant saturates at its daily
+  // peak is unusable *then*, not for the entire horizon. Negative = no
+  // forecast available; the selector falls back to the class's window
+  // average (medium) / sustained peak (long).
+  double forecast_utilization = -1.0;
+  double long_forecast_utilization = -1.0;
 };
 
 struct ClassSelection {
@@ -62,9 +79,11 @@ class ClassSelector {
   ClassSelector(const ClusteringSnapshot* snapshot, RankingWeights weights = RankingWeights::Default())
       : snapshot_(snapshot), weights_(weights) {}
 
-  // Headroom of class `cls` for a job of `type` (Algorithm 1 lines 6-8).
-  // `current_utilization` is the class's live average CPU utilization.
-  double Headroom(JobType type, const UtilizationClass& cls, double current_utilization) const;
+  // Headroom of class `cls` for a job of `type` (Algorithm 1 lines 6-8):
+  //   short  : 1 - current
+  //   medium : 1 - max(forecast (fallback: window average), current)
+  //   long   : 1 - max(long forecast (fallback: sustained peak), current)
+  double Headroom(JobType type, const UtilizationClass& cls, const ClassState& state) const;
 
   // Runs Algorithm 1. `states` must align with snapshot->classes by index.
   // `required_cores` is the job's maximum concurrent resource need.

@@ -144,12 +144,22 @@ KMeansResult KMeansCluster(const std::vector<std::vector<double>>& points, int k
 KMeansResult KMeansAuto(const std::vector<std::vector<double>>& points, int max_k, Rng& rng,
                         double min_gain, const KMeansOptions& options) {
   KMeansResult best = KMeansCluster(points, 1, rng, options);
+  // The elbow gain is measured against the *total* variance (the k=1
+  // inertia), not the shrinking residue of the previous k. Relative-to-
+  // residue gains never decay on structureless data: splitting pure noise
+  // keeps cutting the remainder by a large fraction, so near-identical
+  // tenants (a low-variation datacenter) were driven all the way to max_k
+  // and fragmented into classes too small to host a whole job. Against the
+  // fixed k=1 denominator each extra class must explain >= min_gain of the
+  // total spread, which genuinely multi-modal data does and noise quickly
+  // does not.
+  const double total_inertia = best.inertia;
+  if (total_inertia <= 0.0) {
+    return best;
+  }
   for (int k = 2; k <= max_k && static_cast<size_t>(k) <= points.size(); ++k) {
     KMeansResult candidate = KMeansCluster(points, k, rng, options);
-    if (best.inertia <= 0.0) {
-      break;
-    }
-    double gain = (best.inertia - candidate.inertia) / best.inertia;
+    double gain = (best.inertia - candidate.inertia) / total_inertia;
     if (gain < min_gain) {
       break;
     }

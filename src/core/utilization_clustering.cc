@@ -1,6 +1,7 @@
 #include "src/core/utilization_clustering.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "src/signal/spectrum.h"
 #include "src/util/logging.h"
@@ -82,21 +83,46 @@ ClusteringSnapshot UtilizationClusteringService::Run(const Cluster& cluster, siz
     }
   }
 
-  // Step 3: tag classes with average/peak utilization and capacity.
+  // Step 3: tag classes with average/peak utilization and capacity. The
+  // peak is the *sustained* peak (99th percentile) of the class's aggregate
+  // series (per-slot mean across member tenants), matching how
+  // average_utilization averages across members: a job spread over the
+  // class's servers experiences the class aggregate, and tenants' spikes
+  // rarely align. The previous max-of-maxes let a single member tenant
+  // touching 1.0 in one 2-minute slot zero out the whole class's long-job
+  // headroom for the entire horizon, walling long jobs off from large fleet
+  // fractions (small-scale fleets cluster into single-tenant classes, so one
+  // transient poisoned a quarter of the datacenter) and queueing YARN-H
+  // behind the PT baseline -- the fleet_sweep 45%-target regression. A
+  // sub-half-hour transient is a reserve-kill risk the scheduler already
+  // absorbs, not grounds for categorical exclusion.
+  std::vector<double> aggregate;
   for (auto& cls : snapshot.classes) {
     SummaryStats averages;
-    double peak = 0.0;
     for (TenantId t : cls.tenants) {
       const auto& tenant = cluster.tenant(t);
-      double avg = tenant.average_utilization.WindowAverage(first_slot, window_slots);
-      averages.Add(avg);
-      for (size_t i = 0; i < window_slots; ++i) {
-        peak = std::max(peak, tenant.average_utilization.AtSlot(first_slot + i));
-      }
+      averages.Add(tenant.average_utilization.WindowAverage(first_slot, window_slots));
       for (ServerId s : tenant.servers) {
         cls.servers.push_back(s);
         cls.total_cores += cluster.server(s).capacity.cores;
       }
+    }
+    double peak = 0.0;
+    if (!cls.tenants.empty() && window_slots > 0) {
+      aggregate.clear();
+      aggregate.reserve(window_slots);
+      for (size_t i = 0; i < window_slots; ++i) {
+        double slot_sum = 0.0;
+        for (TenantId t : cls.tenants) {
+          slot_sum += cluster.tenant(t).average_utilization.AtSlot(first_slot + i);
+        }
+        aggregate.push_back(slot_sum / static_cast<double>(cls.tenants.size()));
+      }
+      const size_t rank = (aggregate.size() - 1) -
+                          (aggregate.size() - 1) / 100;  // index of the p99 order statistic
+      std::nth_element(aggregate.begin(),
+                       aggregate.begin() + static_cast<ptrdiff_t>(rank), aggregate.end());
+      peak = aggregate[rank];
     }
     cls.average_utilization = averages.mean();
     cls.peak_utilization = peak;

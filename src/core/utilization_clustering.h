@@ -24,7 +24,9 @@ struct UtilizationClass {
   int id = 0;
   UtilizationPattern pattern = UtilizationPattern::kConstant;
   std::string label;  // RM-H node label, e.g. "periodic-2"
-  // Average and peak utilization across member tenants' average servers.
+  // Mean of member tenants' window-average utilizations, and the sustained
+  // (99th-percentile) peak of the class's aggregate per-slot series -- the
+  // utilization a job spread across the class's servers actually rides.
   double average_utilization = 0.0;
   double peak_utilization = 0.0;
   std::vector<TenantId> tenants;

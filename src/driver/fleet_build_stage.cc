@@ -1,9 +1,16 @@
 // FleetBuildStage: materialize one datacenter's fleet (servers, tenants,
-// traces, reimage schedules) from the scenario's trace-generator knobs.
+// traces, reimage schedules) from the scenario's trace-generator knobs --
+// or, when the scenario names a trace_dir, replay a recorded fleet from
+// disk bit-for-bit (src/trace/trace_io). Replay draws no RNG: every
+// downstream stage owns its own (seed, dc-index, tag) stream, so a replayed
+// run reproduces the exporting run's results byte-identically.
 
 #include "src/cluster/datacenter.h"
 #include "src/driver/stage.h"
 #include "src/trace/reimage.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/trace_source.h"
+#include "src/util/logging.h"
 
 namespace harvest {
 namespace {
@@ -34,8 +41,31 @@ void AttachReimageSchedules(Cluster& cluster, const ReimageModelParams& params, 
   }
 }
 
+// Loads the recorded fleet for this DC. Paths were resolved by
+// ValidateScenario before the run started; failures here are file integrity
+// problems (corruption, truncation, version or shape mismatches) and abort
+// with the reader's message.
+Cluster ReplayScenarioCluster(const DcContext& ctx, const TraceSource& source) {
+  const ScenarioConfig& config = *ctx.config;
+  std::string path;
+  std::string error;
+  HARVEST_CHECK(source.ResolveTraceFile(ctx.label, &path, &error)) << error;
+  Cluster cluster;
+  TraceFileInfo info;
+  HARVEST_CHECK(ReadClusterTraceFile(path, &cluster, &info, &error)) << error;
+  HARVEST_CHECK(info.trace_slots == config.trace_slots)
+      << "trace file '" << path << "' has " << info.trace_slots
+      << " telemetry slots per series but the scenario expects " << config.trace_slots
+      << "; rerun with --set trace_slots=" << info.trace_slots;
+  return cluster;
+}
+
 Cluster BuildScenarioCluster(const DcContext& ctx) {
   const ScenarioConfig& config = *ctx.config;
+  const TraceSource source = MakeTraceSource(config);
+  if (source.is_replay()) {
+    return ReplayScenarioCluster(ctx, source);
+  }
   Rng rng(ctx.StreamSeed("build"));
   if (config.use_testbed) {
     Cluster cluster = BuildTestbedCluster(config.testbed_servers, config.trace_slots, rng);
@@ -64,6 +94,12 @@ Cluster BuildScenarioCluster(const DcContext& ctx) {
 FleetBuildOutput RunFleetBuildStage(const DcContext& ctx) {
   FleetBuildOutput output;
   output.cluster = BuildScenarioCluster(ctx);
+  if (!ctx.dump_traces_dir.empty()) {
+    const std::string path =
+        ctx.dump_traces_dir + "/" + TraceSource::TraceFileName(ctx.label);
+    std::string error;
+    HARVEST_CHECK(WriteClusterTraceFile(output.cluster, path, &error)) << error;
+  }
   output.stats.servers = output.cluster.num_servers();
   output.stats.tenants = output.cluster.num_tenants();
   output.stats.average_primary_utilization = output.cluster.AverageUtilization();

@@ -28,7 +28,7 @@ namespace {
 void PrintUsage(std::FILE* stream) {
   std::fprintf(stream,
                "usage: harvest_sim --scenario=NAME [--seed=N] [--scale=F] [--threads=N]\n"
-               "                   [--set KEY=VALUE]... [--out=PATH]\n"
+               "                   [--set KEY=VALUE]... [--dump-traces=DIR] [--out=PATH]\n"
                "       harvest_sim --list | --list-names | --knobs\n"
                "\n"
                "  --scenario=NAME  registered scenario preset (see --list)\n"
@@ -38,6 +38,8 @@ void PrintUsage(std::FILE* stream) {
                "                   (default: hardware concurrency; output is byte-identical\n"
                "                   for any value)\n"
                "  --set KEY=VALUE  override one scenario knob (repeatable; see --knobs)\n"
+               "  --dump-traces=DIR  export every datacenter's materialized fleet to\n"
+               "                   DIR/<DC>.trace for exact replay via --set trace_dir=DIR\n"
                "  --out=PATH       JSON output path, '-' for stdout (default results.json)\n"
                "  --list           list registered scenarios and exit\n"
                "  --list-names     list scenario names only, one per line (for scripts)\n"
@@ -149,6 +151,12 @@ int main(int argc, char** argv) {
       options.threads = static_cast<int>(threads);
     } else if (ParseOption(argc, argv, i, "--set", value)) {
       overrides.push_back(value);
+    } else if (ParseOption(argc, argv, i, "--dump-traces", value)) {
+      if (value.empty()) {
+        std::fprintf(stderr, "harvest_sim: --dump-traces needs a directory path\n");
+        return 2;
+      }
+      options.dump_traces_dir = value;
     } else if (ParseOption(argc, argv, i, "--out", value)) {
       out_path = value;
     } else {
@@ -175,8 +183,15 @@ int main(int argc, char** argv) {
     std::string key;
     std::string value;
     std::string error;
-    if (!harvest::SplitOverride(override_text, &key, &value, &error) ||
-        !harvest::ApplyScenarioOverride(config, key, value, &error)) {
+    if (!harvest::SplitOverride(override_text, &key, &value, &error)) {
+      std::fprintf(stderr, "harvest_sim: %s\n", error.c_str());
+      return 2;
+    }
+    // The two failure kinds are distinct statuses (a mistyped key vs a real
+    // knob fed a bad value); the registry's messages already spell the kind
+    // out, so no extra prefix is added here.
+    if (harvest::ApplyScenarioOverrideStatus(config, key, value, &error) !=
+        harvest::OverrideStatus::kOk) {
       std::fprintf(stderr, "harvest_sim: %s\n", error.c_str());
       return 2;
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "src/driver/registry.h"
 #include "src/driver/result_json.h"
 #include "src/jobs/tpcds.h"
+#include "src/trace/trace_source.h"
 #include "src/util/logging.h"
 
 namespace harvest {
@@ -22,6 +25,44 @@ auto Timed(double& seconds_out, Fn&& fn) {
   auto result = fn();
   seconds_out = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return result;
+}
+
+// Human-readable sidecar naming the run a trace directory was captured
+// from: enough to re-derive or re-capture it. Written after the export so
+// it only ever describes files that exist.
+void WriteTraceManifest(const std::string& dir, const ScenarioConfig& config,
+                        const ScenarioRunOptions& options,
+                        const std::vector<std::string>& labels) {
+  const std::string path = dir + "/MANIFEST.txt";
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  HARVEST_CHECK(file != nullptr) << "cannot write trace manifest '" << path << "'";
+  std::string text = "harvest_sim trace export\nscenario: " + config.name +
+                     "\nseed: " + std::to_string(options.seed) +
+                     "\nscale: " + std::to_string(options.scale) + "\n";
+  for (const std::string& override_text : options.overrides) {
+    text += "override: " + override_text + "\n";
+  }
+  for (const std::string& label : labels) {
+    text += "trace: " + TraceSource::TraceFileName(label) + "\n";
+  }
+  // The replay line reproduces the captured run in full: same seed, scale
+  // and overrides (the fleet comes from the files, but the scheduling and
+  // storage stages still draw from (seed, dc-index, tag) streams).
+  std::string replay_command = "harvest_sim --scenario=" + config.name +
+                               " --seed=" + std::to_string(options.seed);
+  if (options.scale != 1.0) {
+    char scale_text[32];
+    std::snprintf(scale_text, sizeof(scale_text), "%g", options.scale);
+    replay_command += std::string(" --scale=") + scale_text;
+  }
+  for (const std::string& override_text : options.overrides) {
+    replay_command += " --set " + override_text;
+  }
+  replay_command += " --set trace_dir=" + dir;
+  text += "replay: " + replay_command + "\n";
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  HARVEST_CHECK(std::fclose(file) == 0 && written == text.size())
+      << "short write to trace manifest '" << path << "'";
 }
 
 }  // namespace
@@ -110,11 +151,12 @@ ScenarioRunResult RunScenario(const ScenarioConfig& base_config,
       config.run_scheduling ? BuildTpcDsSuite(DerivedStreamSeed(options.seed, "suite"))
                             : std::vector<JobDag>{};
 
-  std::vector<std::string> labels;
-  if (config.use_testbed) {
-    labels.push_back("DC-9-testbed");
-  } else {
-    labels = config.datacenters;
+  const std::vector<std::string> labels = ScenarioLabels(config);
+  if (!options.dump_traces_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.dump_traces_dir, ec);
+    HARVEST_CHECK(!ec) << "cannot create trace export directory '"
+                       << options.dump_traces_dir << "': " << ec.message();
   }
 
   ScenarioRunResult run;
@@ -122,6 +164,7 @@ ScenarioRunResult RunScenario(const ScenarioConfig& base_config,
   run.result.description = config.description;
   run.result.seed = options.seed;
   run.result.scale = options.scale;
+  run.result.trace_source = MakeTraceSource(config).Provenance();
   run.result.overrides = options.overrides;
   run.result.datacenters.resize(labels.size());
 
@@ -142,11 +185,15 @@ ScenarioRunResult RunScenario(const ScenarioConfig& base_config,
     ctx.dc_seed = DeriveDcSeed(options.seed, i);
     ctx.suite = &suite;
     ctx.task_threads = task_threads;
+    ctx.dump_traces_dir = options.dump_traces_dir;
     result.datacenters[static_cast<size_t>(i)] = RunDatacenterStages(ctx);
   });
   result.timing.threads = threads;
   result.timing.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
+  if (!options.dump_traces_dir.empty()) {
+    WriteTraceManifest(options.dump_traces_dir, config, options, labels);
+  }
 
   run.summary = SummarizeScenario(run.result);
   run.json = RenderScenarioJson(run.result);

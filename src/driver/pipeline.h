@@ -31,6 +31,12 @@ struct ScenarioRunOptions {
   // `--set key=value` strings already applied to the config by the caller;
   // recorded verbatim in the JSON for provenance.
   std::vector<std::string> overrides;
+  // When non-empty, every datacenter's materialized fleet is exported to
+  // `<dump_traces_dir>/<label>.trace` (plus a MANIFEST.txt naming the run)
+  // for later replay via `--set trace_dir=`. The directory is created if
+  // missing. Export does not perturb results: the files are written from
+  // the already-built cluster and no extra RNG is drawn.
+  std::string dump_traces_dir;
 };
 
 // Headline numbers for CLI display; the full results live in the typed

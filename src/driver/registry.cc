@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "src/cluster/datacenter.h"
+#include "src/trace/trace_source.h"
+#include "src/util/edit_distance.h"
 #include "src/util/logging.h"
 
 namespace harvest {
@@ -166,25 +168,6 @@ bool ParseShape(std::string_view text, ServerShape* out, std::string* error) {
   return true;
 }
 
-// Edit distance for "did you mean" suggestions on unknown keys.
-size_t EditDistance(std::string_view a, std::string_view b) {
-  std::vector<size_t> row(b.size() + 1);
-  for (size_t j = 0; j <= b.size(); ++j) {
-    row[j] = j;
-  }
-  for (size_t i = 1; i <= a.size(); ++i) {
-    size_t diagonal = row[0];
-    row[0] = i;
-    for (size_t j = 1; j <= b.size(); ++j) {
-      size_t next = std::min({row[j] + 1, row[j - 1] + 1,
-                              diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
-      diagonal = row[j];
-      row[j] = next;
-    }
-  }
-  return row[b.size()];
-}
-
 using Apply = std::function<bool(ScenarioConfig&, std::string_view, std::string*)>;
 
 Apply BoolKnob(bool ScenarioConfig::* field) {
@@ -221,6 +204,20 @@ Apply FractionKnob(double ScenarioConfig::* field) {
   };
 }
 
+// String-valued knob: any non-empty value is accepted verbatim. The knob
+// table was numeric/list-only before trace replay needed a path knob; string
+// knobs go through the same Apply signature so the error machinery (unknown
+// key vs bad value, did-you-mean) is shared.
+Apply StringKnob(std::string ScenarioConfig::* field) {
+  return [field](ScenarioConfig& config, std::string_view value, std::string* error) {
+    if (value.empty()) {
+      return Fail(error, "value must not be empty");
+    }
+    config.*field = std::string(value);
+    return true;
+  };
+}
+
 template <typename Int>
 Apply PositiveIntKnob(Int ScenarioConfig::* field) {
   // Cap at what the target field type holds (and a generous absolute bound
@@ -245,6 +242,9 @@ std::vector<ScenarioKnob> MakeKnobs() {
     knobs.push_back(ScenarioKnob{name, syntax, help, std::move(apply)});
   };
 
+  add("trace_dir", "directory path",
+      "replay fleets from <dir>/<DC>.trace files (see --dump-traces) instead of generating",
+      StringKnob(&ScenarioConfig::trace_dir));
   add("use_testbed", "bool", "run the 21-tenant DC-9 testbed instead of `datacenters`",
       BoolKnob(&ScenarioConfig::use_testbed));
   add("testbed_servers", "int > 0", "testbed fleet size",
@@ -448,16 +448,17 @@ bool SplitOverride(std::string_view text, std::string* key, std::string* value,
   return true;
 }
 
-bool ApplyScenarioOverride(ScenarioConfig& config, std::string_view key,
-                           std::string_view value, std::string* error) {
+OverrideStatus ApplyScenarioOverrideStatus(ScenarioConfig& config, std::string_view key,
+                                           std::string_view value, std::string* error) {
   for (const ScenarioKnob& knob : ScenarioKnobs()) {
     if (key == knob.name) {
       std::string detail;
       if (!knob.apply(config, value, &detail)) {
-        return Fail(error, "invalid value for " + std::string(key) + " (" + knob.syntax +
-                               "): " + detail);
+        Fail(error, "invalid value for " + std::string(key) + " (" + knob.syntax +
+                        "): " + detail);
+        return OverrideStatus::kBadValue;
       }
-      return true;
+      return OverrideStatus::kOk;
     }
   }
   const ScenarioKnob* closest = nullptr;
@@ -470,10 +471,16 @@ bool ApplyScenarioOverride(ScenarioConfig& config, std::string_view key,
     }
   }
   std::string message = "unknown scenario knob '" + std::string(key) + "'";
-  if (closest != nullptr && best <= std::string(key).size() / 2 + 2) {
+  if (closest != nullptr && CloseEnoughToSuggest(key, best)) {
     message += "; did you mean '" + std::string(closest->name) + "'?";
   }
-  return Fail(error, message + " (see harvest_sim --knobs)");
+  Fail(error, message + " (see harvest_sim --knobs)");
+  return OverrideStatus::kUnknownKey;
+}
+
+bool ApplyScenarioOverride(ScenarioConfig& config, std::string_view key,
+                           std::string_view value, std::string* error) {
+  return ApplyScenarioOverrideStatus(config, key, value, error) == OverrideStatus::kOk;
 }
 
 std::string ValidateScenario(const ScenarioConfig& config) {
@@ -483,6 +490,20 @@ std::string ValidateScenario(const ScenarioConfig& config) {
   }
   if (!config.use_testbed && config.datacenters.empty()) {
     return "datacenters must not be empty when use_testbed=false";
+  }
+  const TraceSource source = MakeTraceSource(config);
+  if (source.is_replay()) {
+    // Resolve every datacenter's trace file up front so a typo'd directory
+    // or label is a usage error (with did-you-mean) before any work runs,
+    // not a mid-run abort from the fleet-build stage. File *integrity* is
+    // still checked at read time.
+    for (const std::string& label : ScenarioLabels(config)) {
+      std::string path;
+      std::string error;
+      if (!source.ResolveTraceFile(label, &path, &error)) {
+        return error;
+      }
+    }
   }
   return "";
 }

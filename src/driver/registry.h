@@ -65,8 +65,24 @@ const std::vector<ScenarioKnob>& ScenarioKnobs();
 bool SplitOverride(std::string_view text, std::string* key, std::string* value,
                    std::string* error);
 
+// How one override application ended. The two failure kinds are distinct on
+// purpose: an unknown key means the caller mistyped a knob name (fixable via
+// --knobs / the did-you-mean suggestion), a bad value means the knob exists
+// but the value failed its parser -- callers and tests must never have to
+// grep the message text to tell them apart.
+enum class OverrideStatus {
+  kOk = 0,
+  kUnknownKey,
+  kBadValue,
+};
+
 // Applies one override to `config`. Unknown keys and malformed values fail
-// with a message naming the key (and, for unknown keys, the closest match).
+// with a message naming the key (and, for unknown keys, the closest match),
+// and report which of the two it was in the return value.
+OverrideStatus ApplyScenarioOverrideStatus(ScenarioConfig& config, std::string_view key,
+                                           std::string_view value, std::string* error);
+
+// Back-compat boolean wrapper: true iff OverrideStatus::kOk.
 bool ApplyScenarioOverride(ScenarioConfig& config, std::string_view key,
                            std::string_view value, std::string* error);
 

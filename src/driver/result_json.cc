@@ -219,6 +219,7 @@ std::string RenderScenarioJson(const ScenarioResult& result) {
   json.Field("description", result.description);
   json.Field("seed", result.seed);
   json.Field("scale", result.scale);
+  json.Field("trace_source", result.trace_source);
   json.Key("overrides").BeginArray();
   for (const std::string& override_text : result.overrides) {
     json.Value(override_text);

@@ -22,6 +22,7 @@
 #include "src/core/utilization_clustering.h"
 #include "src/experiments/durability.h"
 #include "src/experiments/scheduling_sim.h"
+#include "src/trace/trace_source.h"
 #include "src/trace/utilization_trace.h"
 
 namespace harvest {
@@ -31,6 +32,14 @@ struct ScenarioConfig {
   std::string description;
 
   // --- Fleet construction (src/trace generators + src/cluster builders) ---
+  // When non-empty, fleets are REPLAYED from `<trace_dir>/<label>.trace`
+  // files (recorded by `harvest_sim --dump-traces=DIR`; src/trace/trace_io)
+  // instead of being generated, and every synthetic-generator knob below
+  // (use_testbed, fleet_scale, trace_slots except as validation, storm and
+  // shape knobs) is superseded by the recorded fleet. Relative paths resolve
+  // against the working directory, then the repository root, so committed
+  // reproducer traces replay from any build tree.
+  std::string trace_dir;
   // When true the paper's 21-tenant DC-9 testbed mix is used and
   // `datacenters` is ignored.
   bool use_testbed = false;
@@ -100,8 +109,18 @@ const ScenarioConfig* FindScenario(std::string_view name);
 // Scales the scenario's size knobs (fleet, block and access counts) by
 // `scale`, clamped so tiny scales still produce a well-formed run. Horizons
 // and thresholds are left alone: a scaled run is a smaller fleet under the
-// same workload physics, suitable for smoke tests and CI.
+// same workload physics, suitable for smoke tests and CI. A replayed fleet
+// (trace_dir set) keeps its recorded size regardless of scale.
 ScenarioConfig ScaledScenario(const ScenarioConfig& config, double scale);
+
+// The fleet source the scenario's trace_dir knob selects: synthetic
+// generators when empty, directory replay otherwise.
+TraceSource MakeTraceSource(const ScenarioConfig& config);
+
+// The datacenter labels one run of `config` produces, in DC-index order
+// ("DC-9-testbed" for testbed scenarios, the `datacenters` list otherwise).
+// Shared by the pipeline, replay validation, and the trace-export manifest.
+std::vector<std::string> ScenarioLabels(const ScenarioConfig& config);
 
 }  // namespace harvest
 

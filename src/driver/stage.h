@@ -59,6 +59,11 @@ struct DcContext {
   // for any value, because the parallel tasks draw from separate RNGs and
   // write separate result slots.
   int task_threads = 1;
+  // When non-empty, the fleet-build stage writes this DC's materialized
+  // fleet to `<dump_traces_dir>/<label>.trace` (src/trace/trace_io) right
+  // after building it. Each DC writes its own file, so exporting is as
+  // thread-deterministic as the build itself.
+  std::string dump_traces_dir;
 
   // The RNG stream for one stage of this datacenter.
   uint64_t StreamSeed(std::string_view stage_tag) const {
@@ -247,14 +252,18 @@ struct RunTiming {
 };
 
 // The whole run, typed. result_json.cc renders it; pipeline.cc summarizes it.
-// Schema v3: the storage experiments became grid objects (axes + cells) with
-// the full placement-kind coverage.
+// Schema v3 made the storage experiments grid objects (axes + cells) with
+// the full placement-kind coverage; v4 adds workload provenance
+// ("trace_source": synthetic vs replay).
 struct ScenarioResult {
-  int schema_version = 3;
+  int schema_version = 4;
   std::string scenario;
   std::string description;
   uint64_t seed = 0;
   double scale = 1.0;
+  // Where the fleets came from: "synthetic", or "replay:<trace_dir>" (the
+  // configured path verbatim, never a resolved machine-local one).
+  std::string trace_source = "synthetic";
   // `--set key=value` overrides applied to the preset, for provenance.
   std::vector<std::string> overrides;
   RunTiming timing;

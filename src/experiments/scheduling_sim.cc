@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -158,25 +160,98 @@ class SchedulingSimulation {
     jobs_.emplace(id, std::move(job));
     pending_.insert(id);  // a fresh AM always has pending root tasks
     if (options_.mode == SchedulerMode::kHistory) {
-      SelectClasses(jobs_.at(id));
+      // Two-tier admission ask: first the whole DAG's maximum concurrent
+      // need (Algorithm 1's selection quantum), so a class that can carry
+      // the job end-to-end is preferred when one exists. If nothing covers
+      // that, TryScheduleJob's awaiting branch immediately retries sized to
+      // the first runnable wave -- admitting the job piecemeal beats
+      // holding it for a class large enough for a width it may only reach
+      // an hour from now.
+      ActiveJob& fresh = jobs_.at(id);
+      SelectClasses(fresh, fresh.am->dag().MaxConcurrentCores());
     }
     TryScheduleJob(id);
   }
 
+  // History forecasts of each class's peak utilization over the next
+  // kMinForecastWindowSeconds (medium jobs) and twice that (long jobs), read
+  // from the same day-ago telemetry window RM-H task placement inspects
+  // (NodeManager::ForecastStartSlot / ForecastSampleAt). Like
+  // UtilizationClass::peak_utilization, these are peaks of the class's
+  // *aggregate* series (per-slot mean across member tenants): a job lands
+  // across the class's servers, so it rides the class aggregate, not one
+  // member's worst moment. Traces are piecewise-constant per telemetry slot,
+  // so the values are cached per slot.
+  void RefreshClassForecasts(double now) {
+    const int64_t slot = static_cast<int64_t>(std::floor(now / kSlotSeconds));
+    if (slot == class_forecast_slot_) {
+      return;
+    }
+    class_forecast_slot_ = slot;
+    const int medium_samples = NodeManager::ForecastSampleCount(kMinForecastWindowSeconds);
+    const int long_samples = NodeManager::ForecastSampleCount(2.0 * kMinForecastWindowSeconds);
+    const int64_t start_slot = NodeManager::ForecastStartSlot(now);
+    class_forecast_util_.assign(snapshot_.classes.size(), -1.0);
+    class_long_forecast_util_.assign(snapshot_.classes.size(), -1.0);
+    for (size_t c = 0; c < snapshot_.classes.size(); ++c) {
+      const UtilizationClass& cls = snapshot_.classes[c];
+      double medium_peak = -1.0;
+      double long_peak = -1.0;
+      for (int i = 0; i < long_samples; ++i) {
+        double slot_sum = 0.0;
+        size_t counted = 0;
+        for (TenantId t : cls.tenants) {
+          const UtilizationTrace& trace = cluster_.tenant(t).average_utilization;
+          if (trace.empty()) {
+            continue;
+          }
+          slot_sum += NodeManager::ForecastSampleAt(trace, start_slot + i);
+          ++counted;
+        }
+        if (counted == 0) {
+          continue;
+        }
+        const double aggregate = slot_sum / static_cast<double>(counted);
+        if (i < medium_samples) {
+          medium_peak = std::max(medium_peak, aggregate);
+        }
+        long_peak = std::max(long_peak, aggregate);
+      }
+      class_forecast_util_[c] = medium_peak;
+      class_long_forecast_util_[c] = long_peak;
+    }
+  }
+
+  // Cores the job's currently runnable (unlocked, unscheduled) tasks need
+  // concurrently -- the demand a mid-flight class re-selection must cover.
+  // The whole-DAG MaxConcurrentCores is only the right ask at arrival;
+  // holding a half-done job to it would reject class sets that comfortably
+  // host the remaining wave.
+  int RunnableDemandCores(const ActiveJob& job) const {
+    int cores = 0;
+    for (const TaskDemand& demand : job.am->RunnableTasks()) {
+      cores += demand.count * job.am->dag().stage(demand.stage).per_task.cores;
+    }
+    return std::max(1, cores);
+  }
+
   // Algorithm 1 front-end: picks the class set for a job.
-  void SelectClasses(ActiveJob& job) {
+  void SelectClasses(ActiveJob& job, int required_cores) {
     const double now = queue_.now();
+    RefreshClassForecasts(now);
     std::vector<ClassState> states;
     states.reserve(snapshot_.classes.size());
-    for (const auto& cls : snapshot_.classes) {
+    for (size_t c = 0; c < snapshot_.classes.size(); ++c) {
+      const UtilizationClass& cls = snapshot_.classes[c];
       ClassState state;
       state.class_id = cls.id;
       state.current_utilization = rm_.ClassCurrentUtilization(cls.id, now);
       state.available_cores = rm_.ClassAvailableCores(cls.id, now);
+      state.forecast_utilization = class_forecast_util_[c];
+      state.long_forecast_utilization = class_long_forecast_util_[c];
       states.push_back(state);
     }
-    ClassSelection selection =
-        selector_->Select(job.type, job.am->dag().MaxConcurrentCores(), states, rng_);
+    ClassSelection selection = selector_->Select(job.type, required_cores, states, rng_);
     for (size_t i = 0; i < selection.class_ids.size(); ++i) {
       ClassSchedulingDiagnostics* diag = DiagnosticsForClass(selection.class_ids[i]);
       if (diag == nullptr) {
@@ -199,9 +274,20 @@ class SchedulingSimulation {
     }
     ActiveJob& job = it->second;
     if (job.awaiting_classes) {
-      return;  // re-tried at the next tick (stays in pending_)
+      // An empty class pick is not a 120-second sentence. This fires both
+      // straight from arrival -- the whole-DAG ask found no class, so fall
+      // back to admitting the first runnable wave -- and from retry sweeps,
+      // where resources freed by the triggering completion / kill may make
+      // a class eligible right now, exactly like a PT job grabbing freed
+      // cores in the same sweep. Selection consumes RNG only when it
+      // succeeds, so a still-empty attempt leaves every stream untouched.
+      SelectClasses(job, RunnableDemandCores(job));
+      if (job.awaiting_classes) {
+        return;  // still nothing anywhere (stays in pending_)
+      }
     }
     const double now = queue_.now();
+    bool allocation_short = false;  // some runnable demand went unplaced
     for (const TaskDemand& demand : job.am->RunnableTasks()) {
       const Stage& stage = job.am->dag().stage(demand.stage);
       ContainerRequest request;
@@ -214,8 +300,18 @@ class SchedulingSimulation {
       request.task_seconds = stage.task_seconds * 1.2;
       request.history_aware = options_.mode == SchedulerMode::kHistory;
       std::vector<Container> placed = rm_.Allocate(request, now, rng_);
+      if (static_cast<int>(placed.size()) < demand.count) {
+        allocation_short = true;
+      }
       if (placed.empty()) {
-        cluster_full_hint_ = true;
+        // Stop the retry sweep early only when the *whole cluster* rejected
+        // the shape -- i.e. a label-free (PT) request. An H request going
+        // empty means this job's classes are full, which says nothing about
+        // the next job's classes; breaking the sweep on it starved every
+        // queued job behind the first one with saturated classes.
+        if (request.allowed_classes.empty()) {
+          cluster_full_hint_ = true;
+        }
         continue;
       }
       job.am->OnTasksScheduled(demand.stage, static_cast<int>(placed.size()));
@@ -240,6 +336,24 @@ class SchedulingSimulation {
         queue_.Schedule(now + stage.task_seconds, [this, cid = container.id] {
           OnTaskCompletion(cid);
         });
+      }
+    }
+    // A short allocation means the job's allowed classes cannot host its
+    // remaining demand right now. Holding the stale class set would strand
+    // the job until it fully starved (all tasks done or killed, a whole
+    // tick away); re-running Algorithm 1 -- sized to the *remaining* wave,
+    // not the whole DAG -- lets the next retry ask with classes that
+    // currently have room, mirroring how a PT job's retry sees the whole
+    // fleet's live availability. When even the re-selection finds nothing,
+    // the job keeps its previous classes: a started job trickling tasks into
+    // a slowly-freeing class beats one frozen with no classes at all.
+    if (options_.mode == SchedulerMode::kHistory && allocation_short &&
+        job.am->PendingTasks() > 0) {
+      std::vector<int> previous = job.allowed_classes;
+      SelectClasses(job, RunnableDemandCores(job));
+      if (job.awaiting_classes && !previous.empty()) {
+        job.allowed_classes = std::move(previous);
+        job.awaiting_classes = false;
       }
     }
     // Keep the pending queue exact: a job is queued iff it still has
@@ -353,22 +467,12 @@ class SchedulingSimulation {
         }
       }
     }
-    // 2. H-mode jobs that could not pick classes -- or whose classes have no
-    // room left (nothing running, tasks pending) -- select again. The map is
-    // keyed by JobId, which is issued in arrival order, so this iterates
-    // live jobs oldest-first like the retry sweep.
-    if (options_.mode == SchedulerMode::kHistory) {
-      for (auto& [id, job] : jobs_) {
-        (void)id;
-        bool starving = job.am->PendingTasks() > 0 && job.am->RunningTasks() == 0;
-        if (job.awaiting_classes || starving) {
-          SelectClasses(job);
-        }
-      }
-    }
-    // 3. Pending demands retry (resources freed by kills / primary ebb).
+    // 2. Pending demands retry (resources freed by kills / primary ebb).
+    // H-mode class refresh is event-driven now: TryScheduleJob re-runs
+    // Algorithm 1 whenever a job's allowed classes come up short, so no
+    // separate starvation sweep is needed.
     RetryPendingJobs();
-    // 4. Utilization sample.
+    // 3. Utilization sample.
     utilization_sum_ += rm_.AverageTotalUtilization(now);
     primary_sum_ += cluster_.AverageUtilizationAt(now);
     ++utilization_samples_;
@@ -438,6 +542,11 @@ class SchedulingSimulation {
   std::vector<JobArrival> arrivals_;
   ClusteringSnapshot snapshot_;
   std::vector<int> server_class_;  // H mode: server -> class id
+  // Per-class history forecasts (see RefreshClassForecasts), cached per
+  // telemetry slot; -1 marks classes without usable traces.
+  std::vector<double> class_forecast_util_;
+  std::vector<double> class_long_forecast_util_;
+  int64_t class_forecast_slot_ = std::numeric_limits<int64_t>::min();
   std::unordered_map<int, size_t> class_index_by_id_;
   std::unique_ptr<ClassSelector> selector_;
   std::unique_ptr<NameNode> name_node_;

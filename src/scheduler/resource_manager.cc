@@ -9,19 +9,22 @@
 namespace harvest {
 namespace {
 
-// YARN-H weighting (paper G3): a server whose history says the task will
-// survive gets a strong bonus on top of live-room balancing; servers without
-// type headroom stay usable, balanced by live room, so saturation does not
-// flatten placement. Integer on purpose: the historical dense scan used
-// 50.0, and keeping every weight integer-valued is what makes the Fenwick
-// sampler's arithmetic exact (src/util/weighted_picker.h).
+// YARN-H weighting (paper G3 + §5.3): history decides *eligibility* -- does
+// the forecast say this task's shape will survive on this server? -- and
+// load then balances across eligible servers in proportion to their live
+// available resources, exactly like the PT baseline does across all servers.
+// Eligible servers get their live room boosted by this factor; ineligible
+// ones stay usable at plain live room, so saturation does not flatten
+// placement. The bonus is deliberately NOT proportional to the forecast
+// room itself: scaling by forecast room concentrated load onto whichever
+// servers happened to have a deceptively calm day-ago window, and on fleets
+// where the forecast carries no signal (flat primaries + i.i.d. per-server
+// jitter) that noise-chasing packed containers onto a few servers and made
+// YARN-H suffer *more* reserve kills than PT (the fleet_sweep 45%-target
+// regression). Integer on purpose: keeping every weight integer-valued is
+// what makes the Fenwick sampler's arithmetic exact
+// (src/util/weighted_picker.h).
 constexpr int64_t kTypeRoomBonus = 50;
-
-// RM-H forecast floor: jobs occupy their servers well beyond one task (stage
-// chains, re-requests), and diurnal ramps move about one core per hour, so
-// the forecast must look hours ahead to tell an ascending server from a
-// descending one.
-constexpr double kMinForecastWindowSeconds = 3.0 * 3600.0;
 
 }  // namespace
 
@@ -171,11 +174,11 @@ int64_t ResourceManager::NodeWeight(ServerId s) const {
     return 0;
   }
   int64_t weight = avail.cores;
-  if (profile_.history_aware) {
-    weight += kTypeRoomBonus *
-              nodes_[i]
-                  .AvailableForTaskGiven(node_primary_cores_[i], node_forecast_cores_[i])
-                  .cores;
+  if (profile_.history_aware &&
+      nodes_[i]
+          .AvailableForTaskGiven(node_primary_cores_[i], node_forecast_cores_[i])
+          .Fits(profile_.shape)) {
+    weight += kTypeRoomBonus * avail.cores;
   }
   return weight;
 }
@@ -411,13 +414,16 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
         node.ForecastPrimaryCores(t, profile_.window_seconds) != node_forecast_cores_[s]) {
       return fail("stale forecast" + at);
     }
-    // The historical dense formula, recomputed from scratch.
+    // The dense placement-weight formula, recomputed from scratch: live
+    // room, boosted when the history forecast says this shape survives here
+    // (the eligibility filter of NodeWeight).
     int64_t expected = 0;
     Resources room = node.AvailableForSecondary(t);
     if (room.Fits(profile_.shape)) {
       expected = room.cores;
-      if (profile_.history_aware) {
-        expected += kTypeRoomBonus * node.AvailableForTask(t, profile_.window_seconds).cores;
+      if (profile_.history_aware &&
+          node.AvailableForTask(t, profile_.window_seconds).Fits(profile_.shape)) {
+        expected += kTypeRoomBonus * room.cores;
       }
     }
     if (expected != node_weight_[s]) {

@@ -38,6 +38,13 @@
 
 namespace harvest {
 
+// RM-H forecast floor: jobs occupy their servers well beyond one task (stage
+// chains, re-requests), and diurnal ramps move about one core per hour, so
+// the forecast must look hours ahead to tell an ascending server from a
+// descending one. Shared with Algorithm-1 class selection: a job's class pick
+// discounts against the same history horizon its tasks will be placed under.
+inline constexpr double kMinForecastWindowSeconds = 3.0 * 3600.0;
+
 class ResourceManager {
  public:
   // Builds one NodeManager per server of `cluster`. The cluster must outlive

@@ -1,0 +1,62 @@
+// Where a datacenter's fleet comes from: the synthetic trace generators
+// (src/trace/generators, src/cluster/datacenter) or a directory of recorded
+// .trace files (src/trace/trace_io) captured from an earlier run with
+// `harvest_sim --dump-traces=DIR`. The driver threads a TraceSource through
+// the fleet-build stage so replaying a recorded workload is a data-source
+// swap, not a different pipeline: everything downstream of FleetBuild is
+// identical, which is what makes a replayed run byte-reproduce the run that
+// exported it.
+
+#ifndef HARVEST_SRC_TRACE_TRACE_SOURCE_H_
+#define HARVEST_SRC_TRACE_TRACE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+namespace harvest {
+
+class TraceSource {
+ public:
+  // The synthetic generators (the default).
+  static TraceSource Synthetic() { return TraceSource(); }
+  // Replay from `directory`, which holds one `<DC label>.trace` per
+  // datacenter. The directory is resolved against the working directory
+  // first, then against the repository root this binary was configured from
+  // (so committed reproducer traces load from any build/test CWD).
+  static TraceSource Replay(std::string directory);
+
+  bool is_replay() const { return !directory_.empty(); }
+  // The directory exactly as configured (relative paths stay relative:
+  // recorded in JSON provenance, they must not leak machine-local roots).
+  const std::string& directory() const { return directory_; }
+
+  // "synthetic", or "replay:<directory>" for replay sources.
+  std::string Provenance() const;
+
+  // Resolves the configured directory to an existing path. Returns false
+  // with a usage-style message when it exists nowhere.
+  bool ResolveDirectory(std::string* resolved, std::string* error) const;
+
+  // Resolves the trace file for one datacenter label. On a miss the error
+  // lists the labels available in the directory and suggests the closest
+  // one ("did you mean ...").
+  bool ResolveTraceFile(const std::string& label, std::string* path, std::string* error) const;
+
+  // `<label>.trace` -- shared by the export and replay paths.
+  static std::string TraceFileName(const std::string& label);
+
+  // Labels with a `.trace` file in `resolved_dir`, sorted. Exposed for the
+  // did-you-mean error and the export manifest. When the directory cannot
+  // be listed (permissions, I/O), returns empty and sets `list_error` (if
+  // non-null) so callers report the real failure instead of "no traces".
+  static std::vector<std::string> AvailableLabels(const std::string& resolved_dir,
+                                                  std::string* list_error = nullptr);
+
+ private:
+  TraceSource() = default;
+  std::string directory_;  // empty = synthetic
+};
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_TRACE_TRACE_SOURCE_H_

@@ -1,0 +1,44 @@
+// Levenshtein distance for "did you mean" suggestions in usage errors.
+// Shared by the driver's scenario-knob table and the trace-replay file
+// resolver so every unknown-name error suggests the closest valid spelling
+// the same way.
+
+#ifndef HARVEST_SRC_UTIL_EDIT_DISTANCE_H_
+#define HARVEST_SRC_UTIL_EDIT_DISTANCE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace harvest {
+
+// Single-row dynamic program: O(|a| * |b|) time, O(|b|) space.
+inline size_t EditDistance(std::string_view a, std::string_view b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                              diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diagonal = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+// True when `candidate` is close enough to `input` to be worth suggesting
+// (at most half the input's length plus slack -- matches the knob table's
+// historical behavior).
+inline bool CloseEnoughToSuggest(std::string_view input, size_t distance) {
+  return distance <= input.size() / 2 + 2;
+}
+
+}  // namespace harvest
+
+#endif  // HARVEST_SRC_UTIL_EDIT_DISTANCE_H_

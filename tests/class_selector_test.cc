@@ -35,24 +35,83 @@ std::vector<ClassState> MakeStates(const ClusteringSnapshot& snapshot, double cu
   return states;
 }
 
+ClassState StateWith(double current, double forecast = -1.0) {
+  ClassState state;
+  state.current_utilization = current;
+  state.forecast_utilization = forecast;
+  return state;
+}
+
 TEST(ClassSelectorTest, HeadroomDefinitionsPerJobType) {
   ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.7, 0.2, 0.25, 0.4, 0.9);
   ClassSelector selector(&snapshot);
   const UtilizationClass& periodic = snapshot.classes[0];
   // Short: 1 - current only.
-  EXPECT_NEAR(selector.Headroom(JobType::kShort, periodic, 0.5), 0.5, 1e-12);
-  // Medium: 1 - max(avg, current).
-  EXPECT_NEAR(selector.Headroom(JobType::kMedium, periodic, 0.1), 0.7, 1e-12);
-  EXPECT_NEAR(selector.Headroom(JobType::kMedium, periodic, 0.6), 0.4, 1e-12);
+  EXPECT_NEAR(selector.Headroom(JobType::kShort, periodic, StateWith(0.5)), 0.5, 1e-12);
+  // Medium without a forecast: 1 - max(avg, current).
+  EXPECT_NEAR(selector.Headroom(JobType::kMedium, periodic, StateWith(0.1)), 0.7, 1e-12);
+  EXPECT_NEAR(selector.Headroom(JobType::kMedium, periodic, StateWith(0.6)), 0.4, 1e-12);
   // Long: 1 - max(peak, current).
-  EXPECT_NEAR(selector.Headroom(JobType::kLong, periodic, 0.1), 0.3, 1e-12);
-  EXPECT_NEAR(selector.Headroom(JobType::kLong, periodic, 0.8), 0.2, 1e-12);
+  EXPECT_NEAR(selector.Headroom(JobType::kLong, periodic, StateWith(0.1)), 0.3, 1e-12);
+  EXPECT_NEAR(selector.Headroom(JobType::kLong, periodic, StateWith(0.8)), 0.2, 1e-12);
+}
+
+TEST(ClassSelectorTest, MediumHeadroomPrefersForecastOverAverage) {
+  ClusteringSnapshot snapshot = MakeSnapshot(0.3, 0.7, 0.2, 0.25, 0.4, 0.9);
+  ClassSelector selector(&snapshot);
+  const UtilizationClass& periodic = snapshot.classes[0];
+  // A forecast supersedes the all-day average entirely: the class about to
+  // ramp (forecast 0.65 > avg 0.3) loses headroom...
+  EXPECT_NEAR(selector.Headroom(JobType::kMedium, periodic, StateWith(0.1, 0.65)), 0.35,
+              1e-12);
+  // ...and one entering its trough (forecast 0.1 < avg 0.3) gains it.
+  EXPECT_NEAR(selector.Headroom(JobType::kMedium, periodic, StateWith(0.2, 0.1)), 0.8, 1e-12);
+  // Live utilization still floors the discount.
+  EXPECT_NEAR(selector.Headroom(JobType::kMedium, periodic, StateWith(0.7, 0.1)), 0.3, 1e-12);
+  // Short and long job types ignore the forecast.
+  EXPECT_NEAR(selector.Headroom(JobType::kShort, periodic, StateWith(0.5, 0.9)), 0.5, 1e-12);
+  EXPECT_NEAR(selector.Headroom(JobType::kLong, periodic, StateWith(0.1, 0.1)), 0.3, 1e-12);
 }
 
 TEST(ClassSelectorTest, HeadroomClampsToZero) {
   ClusteringSnapshot snapshot = MakeSnapshot(0.3, 1.0, 0.2, 0.3, 0.4, 0.9);
   ClassSelector selector(&snapshot);
-  EXPECT_DOUBLE_EQ(selector.Headroom(JobType::kLong, snapshot.classes[0], 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(selector.Headroom(JobType::kLong, snapshot.classes[0], StateWith(0.0)),
+                   0.0);
+}
+
+TEST(ClassSelectorTest, PickProbabilityScalesWithClassCapacity) {
+  // Two classes, identical pattern and headroom, 9:1 capacity split: the
+  // pick must follow capacity (the RM's available-resource balancing), not
+  // treat the classes as equals -- capacity-blind picks are what overloaded
+  // single classes in low-variation fleets.
+  ClusteringSnapshot snapshot;
+  for (int c = 0; c < 2; ++c) {
+    UtilizationClass cls;
+    cls.id = c;
+    cls.pattern = UtilizationPattern::kConstant;
+    cls.label = "constant-" + std::to_string(c);
+    cls.average_utilization = 0.3;
+    cls.peak_utilization = 0.4;
+    cls.total_cores = c == 0 ? 9000 : 1000;
+    snapshot.classes.push_back(cls);
+  }
+  ClassSelector selector(&snapshot);
+  Rng rng(9);
+  std::vector<ClassState> states;
+  states.push_back(ClassState{0, 0.3, 4500, -1.0});
+  states.push_back(ClassState{1, 0.3, 500, -1.0});
+  int big_picks = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    ClassSelection sel = selector.Select(JobType::kMedium, 10, states, rng);
+    ASSERT_EQ(sel.class_ids.size(), 1u);
+    if (sel.class_ids[0] == 0) {
+      ++big_picks;
+    }
+  }
+  // Expected share 90%; allow generous sampling slack.
+  EXPECT_GT(big_picks, trials * 80 / 100);
 }
 
 TEST(ClassSelectorTest, LongJobsPreferConstantClasses) {

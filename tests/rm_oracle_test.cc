@@ -53,22 +53,32 @@ std::vector<ServerId> ReferencePlacements(const ResourceManager& rm,
     }
   }
 
-  constexpr double kTypeRoomBonus = 50.0;
-  constexpr double kMinForecastWindowSeconds = 3.0 * 3600.0;
+  constexpr double kBonus = 50.0;  // mirrors the RM's kTypeRoomBonus
   const double window = std::max(request.task_seconds, kMinForecastWindowSeconds);
+  // The dense formula: live room balances the load; history grants a flat
+  // eligibility bonus (x kBonus on the live room) when the forecast says
+  // this request shape survives on the server -- never a weight
+  // proportional to the forecast room itself.
   std::vector<double> weights(candidates.size(), 0.0);
   std::vector<Resources> room(candidates.size());
-  std::vector<int> type_cores(candidates.size(), 0);
+  std::vector<Resources> type_room(candidates.size());
+  auto weight_of = [&request](const Resources& live, const Resources& type_avail) {
+    if (!live.Fits(request.resources)) {
+      return 0.0;
+    }
+    double weight = static_cast<double>(live.cores);
+    if (request.history_aware && type_avail.Fits(request.resources)) {
+      weight += kBonus * static_cast<double>(live.cores);
+    }
+    return weight;
+  };
   for (size_t i = 0; i < candidates.size(); ++i) {
     const NodeManager& node = rm.node(candidates[i]);
     room[i] = node.AvailableForSecondary(t);
     if (request.history_aware) {
-      type_cores[i] = node.AvailableForTask(t, window).cores;
+      type_room[i] = node.AvailableForTask(t, window);
     }
-    if (room[i].Fits(request.resources)) {
-      weights[i] = static_cast<double>(room[i].cores) +
-                   (request.history_aware ? kTypeRoomBonus * type_cores[i] : 0.0);
-    }
+    weights[i] = weight_of(room[i], type_room[i]);
   }
 
   for (int n = 0; n < request.count; ++n) {
@@ -79,13 +89,8 @@ std::vector<ServerId> ReferencePlacements(const ResourceManager& rm,
     size_t idx = static_cast<size_t>(pick);
     placements.push_back(candidates[idx]);
     room[idx] -= request.resources;
-    type_cores[idx] = std::max(0, type_cores[idx] - request.resources.cores);
-    if (!room[idx].Fits(request.resources)) {
-      weights[idx] = 0.0;
-    } else {
-      weights[idx] = static_cast<double>(room[idx].cores) +
-                     (request.history_aware ? kTypeRoomBonus * type_cores[idx] : 0.0);
-    }
+    type_room[idx] -= request.resources;
+    weights[idx] = weight_of(room[idx], type_room[idx]);
   }
   return placements;
 }

@@ -38,6 +38,30 @@ for scenario in $("$BIN" --list-names); do
   done
 done
 
+# Trace export must be as thread-deterministic as the runs themselves: the
+# .trace files dumped at --threads=1 and --threads=8 must be byte-identical
+# (each DC writes only its own file from its own deterministic build), and a
+# replayed scenario (replay_regression, covered by the scenario loop above)
+# must byte-reproduce across thread counts too.
+for threads in 1 8; do
+  "$BIN" --scenario=fleet_sweep --seed="$SEED" --scale="$SCALE" --threads="$threads" \
+    --set run_durability=false --dump-traces="$tmp/dump$threads" \
+    --out=/dev/null 2>/dev/null
+done
+dump_status=0
+for trace in "$tmp"/dump1/*.trace; do
+  name=$(basename "$trace")
+  if ! cmp -s "$trace" "$tmp/dump8/$name"; then
+    echo "FAIL: exported trace $name differs between --threads=1 and --threads=8" >&2
+    dump_status=1
+  fi
+done
+if [ "$dump_status" -eq 0 ]; then
+  echo "OK: exported traces byte-identical across --threads=1/8"
+else
+  status=1
+fi
+
 # The storage grid's cells run as tasks on the same deterministic executor;
 # a derived grid (reduced kind axis + an access load riding the durability
 # timeline) must be byte-identical across thread counts too.

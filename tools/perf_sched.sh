@@ -7,7 +7,14 @@
 # BENCH_sched.json, so this and future PRs have a measured trajectory.
 #
 #   tools/perf_sched.sh [--bin PATH] [--scenario NAME] [--scale F] [--seed N]
-#                       [--threads N] [--reps K] [--out PATH]
+#                       [--threads N] [--reps K] [--out PATH] [--replay]
+#
+# --replay measures the trace-replay path instead of the synthetic
+# generators: the scenario is first exported once with --dump-traces (not
+# timed), then every timed rep runs with --set trace_dir= against the dump.
+# BENCH_sched.json records which path was measured ("replay_mode"), so the
+# replay overhead (file I/O + deserialization vs generation) gets its own
+# trajectory.
 #
 # Defaults reproduce the ISSUE-3 acceptance measurement: fleet_sweep at
 # default scale, one worker thread, seed 42, best of 2 reps. When (and only
@@ -32,6 +39,8 @@ OUT=BENCH_sched.json
 # reference builder image (single core). Re-measure when the image changes.
 BASELINE_PR2_SECONDS=25.50
 
+REPLAY=0
+
 while [ $# -gt 0 ]; do
   case "$1" in
     --bin) BIN=$2; shift 2 ;;
@@ -41,6 +50,7 @@ while [ $# -gt 0 ]; do
     --threads) THREADS=$2; shift 2 ;;
     --reps) REPS=$2; shift 2 ;;
     --out) OUT=$2; shift 2 ;;
+    --replay) REPLAY=1; shift ;;
     *) echo "perf_sched.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -48,11 +58,19 @@ done
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+extra_args=()
+if [ "$REPLAY" -eq 1 ]; then
+  # One untimed export; the timed reps below then exercise the replay path.
+  "$BIN" --scenario="$SCENARIO" --seed="$SEED" --scale="$SCALE" \
+    --threads="$THREADS" --dump-traces="$tmp/traces" --out=/dev/null 2>/dev/null
+  extra_args=(--set "trace_dir=$tmp/traces")
+fi
+
 walls=()
 for rep in $(seq 1 "$REPS"); do
   start=$(date +%s%N)
   "$BIN" --scenario="$SCENARIO" --seed="$SEED" --scale="$SCALE" \
-    --threads="$THREADS" --out="$tmp/run.json" 2>/dev/null
+    --threads="$THREADS" "${extra_args[@]}" --out="$tmp/run.json" 2>/dev/null
   end=$(date +%s%N)
   wall=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
   walls+=("$wall")
@@ -60,7 +78,7 @@ for rep in $(seq 1 "$REPS"); do
 done
 
 RUN_JSON="$tmp/run.json" SCENARIO="$SCENARIO" SCALE="$SCALE" SEED="$SEED" \
-THREADS="$THREADS" REPS="$REPS" OUT="$OUT" BIN="$BIN" \
+THREADS="$THREADS" REPS="$REPS" OUT="$OUT" BIN="$BIN" REPLAY="$REPLAY" \
 BASELINE_PR2_SECONDS="$BASELINE_PR2_SECONDS" WALLS="${walls[*]}" \
 python3 - <<'EOF'
 import json
@@ -77,8 +95,10 @@ baseline = float(os.environ["BASELINE_PR2_SECONDS"])
 with open(os.environ["RUN_JSON"]) as handle:
     run = json.load(handle)
 
+replay = os.environ["REPLAY"] == "1"
 is_reference = (
     scenario == "fleet_sweep" and scale == 1.0 and seed == 42 and threads == 1
+    and not replay
 )
 bench = {
     "benchmark": "scheduling co-simulation hot path (ISSUE 3)",
@@ -89,6 +109,9 @@ bench = {
     "scale": scale,
     "threads": threads,
     "reps": int(os.environ["REPS"]),
+    # True when the timed reps ran the trace-replay path (--replay): fleets
+    # deserialized from a prior --dump-traces export instead of generated.
+    "replay_mode": replay,
     "wall_seconds_per_rep": walls,
     "wall_seconds": best,
     "reference_configuration": is_reference,

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Export-replay equivalence check for the trace subsystem: runs a scenario
+# synthetically with --dump-traces, replays the dumped traces with
+# --set trace_dir=, and byte-compares the two JSON documents after removing
+# the fields that legitimately differ -- "timing" (wall clock) and the
+# provenance pair ("trace_source", "overrides"). Everything else, from fleet
+# stats through scheduling results to the storage grids, must be identical:
+# replay swaps the fleet's data source, not the pipeline.
+#
+#   tools/replay_check.sh /path/to/harvest_sim [scenario] [scale] [seed]
+set -euo pipefail
+
+BIN=${1:?usage: replay_check.sh /path/to/harvest_sim [scenario] [scale] [seed]}
+SCENARIO=${2:-dc9_testbed}
+SCALE=${3:-0.05}
+SEED=${4:-42}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$BIN" --scenario="$SCENARIO" --seed="$SEED" --scale="$SCALE" --threads=2 \
+  --dump-traces="$tmp/traces" --out="$tmp/synthetic.json" 2>/dev/null
+"$BIN" --scenario="$SCENARIO" --seed="$SEED" --scale="$SCALE" --threads=2 \
+  --set trace_dir="$tmp/traces" --out="$tmp/replay.json" 2>/dev/null
+
+# Drop wall-clock telemetry and provenance, then demand exact equality.
+normalize() {
+  python3 - "$1" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as handle:
+    doc = json.load(handle)
+for key in ("timing", "overrides", "trace_source"):
+    doc.pop(key, None)
+print(json.dumps(doc, sort_keys=True, indent=1))
+EOF
+}
+
+normalize "$tmp/synthetic.json" > "$tmp/synthetic.norm.json"
+normalize "$tmp/replay.json" > "$tmp/replay.norm.json"
+if cmp -s "$tmp/synthetic.norm.json" "$tmp/replay.norm.json"; then
+  echo "OK: $SCENARIO replay reproduces the synthetic run (scale=$SCALE seed=$SEED)"
+else
+  echo "FAIL: $SCENARIO replay differs from the synthetic run" >&2
+  diff "$tmp/synthetic.norm.json" "$tmp/replay.norm.json" | head -40 >&2
+  exit 1
+fi
