@@ -7,7 +7,7 @@
 #include <algorithm>
 #include <string>
 
-#include "src/driver/executor.h"
+#include "src/util/executor.h"
 #include "src/driver/stage.h"
 #include "src/experiments/cluster_scaling.h"
 #include "src/experiments/storage_cosim.h"
@@ -55,6 +55,7 @@ AvailabilityStageResult RunAvailabilityStage(const DcContext& ctx, const Cluster
     options.placement = kind;
     options.replication = result.replication;
     options.num_blocks = config.availability_blocks;
+    options.nn_shards = config.nn_shards;
     // Both systems hit the same 66% wall; placement is the only difference.
     options.primary_aware_access = true;
     // Shared across kinds and targets: the paired write workload.

@@ -11,7 +11,7 @@
 #include <algorithm>
 #include <string>
 
-#include "src/driver/executor.h"
+#include "src/util/executor.h"
 #include "src/driver/stage.h"
 #include "src/experiments/storage_cosim.h"
 #include "src/trace/reimage.h"
@@ -50,6 +50,7 @@ DurabilityStageResult RunDurabilityStage(const DcContext& ctx, const Cluster& cl
     options.placement = kind;
     options.replication = replication;
     options.num_blocks = config.storage_blocks;
+    options.nn_shards = config.nn_shards;
     // Shared across kinds at this replication: the paired write workload.
     options.writer_seed = DerivedStreamSeed(base_seed, "writers-" + replication_tag);
     options.policy_seed = DerivedStreamSeed(

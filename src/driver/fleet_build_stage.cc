@@ -6,6 +6,7 @@
 // run reproduces the exporting run's results byte-identically.
 
 #include "src/cluster/datacenter.h"
+#include "src/cluster/fleet_table.h"
 #include "src/driver/stage.h"
 #include "src/trace/reimage.h"
 #include "src/trace/trace_io.h"
@@ -109,6 +110,7 @@ FleetBuildOutput RunFleetBuildStage(const DcContext& ctx) {
     reimage_events += static_cast<int64_t>(server.reimage_times.size());
   }
   output.stats.reimage_events = reimage_events;
+  output.stats.shape_counts = FleetTable(output.cluster).ShapeCounts();
   return output;
 }
 

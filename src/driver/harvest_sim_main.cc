@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/driver/pipeline.h"
+#include "src/util/edit_distance.h"
 #include "src/driver/registry.h"
 #include "src/driver/scenario.h"
 
@@ -172,7 +173,22 @@ int main(int argc, char** argv) {
   }
   const harvest::ScenarioConfig* scenario = harvest::FindScenario(scenario_name);
   if (scenario == nullptr) {
-    std::fprintf(stderr, "harvest_sim: unknown scenario '%s'\n\n", scenario_name.c_str());
+    std::fprintf(stderr, "harvest_sim: unknown scenario '%s'\n", scenario_name.c_str());
+    // Same "did you mean" policy as the knob table (src/util/edit_distance.h).
+    const harvest::ScenarioConfig* closest = nullptr;
+    size_t closest_distance = 0;
+    for (const harvest::ScenarioConfig& candidate : harvest::AllScenarios()) {
+      const size_t distance = harvest::EditDistance(scenario_name, candidate.name);
+      if (closest == nullptr || distance < closest_distance) {
+        closest = &candidate;
+        closest_distance = distance;
+      }
+    }
+    if (closest != nullptr &&
+        harvest::CloseEnoughToSuggest(scenario_name, closest_distance)) {
+      std::fprintf(stderr, "  (did you mean '%s'?)\n", closest->name.c_str());
+    }
+    std::fprintf(stderr, "\n");
     PrintScenarios();
     return 2;
   }

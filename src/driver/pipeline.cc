@@ -1,5 +1,7 @@
 #include "src/driver/pipeline.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -7,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "src/driver/executor.h"
+#include "src/util/executor.h"
 #include "src/driver/registry.h"
 #include "src/driver/result_json.h"
 #include "src/jobs/tpcds.h"
@@ -32,7 +34,8 @@ auto Timed(double& seconds_out, Fn&& fn) {
 // it only ever describes files that exist.
 void WriteTraceManifest(const std::string& dir, const ScenarioConfig& config,
                         const ScenarioRunOptions& options,
-                        const std::vector<std::string>& labels) {
+                        const std::vector<std::string>& labels,
+                        const ScenarioResult& result) {
   const std::string path = dir + "/MANIFEST.txt";
   std::FILE* file = std::fopen(path.c_str(), "wb");
   HARVEST_CHECK(file != nullptr) << "cannot write trace manifest '" << path << "'";
@@ -42,8 +45,21 @@ void WriteTraceManifest(const std::string& dir, const ScenarioConfig& config,
   for (const std::string& override_text : options.overrides) {
     text += "override: " + override_text + "\n";
   }
-  for (const std::string& label : labels) {
-    text += "trace: " + TraceSource::TraceFileName(label) + "\n";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    text += "trace: " + TraceSource::TraceFileName(labels[i]) + "\n";
+    // Self-describing fleet line: size and shape mix of the recorded file,
+    // so a reader need not parse the binary trace to know what it holds.
+    const FleetStageResult& fleet = result.datacenters[i].fleet;
+    text += "fleet: " + labels[i] + " servers=" + std::to_string(fleet.servers) +
+            " shapes=";
+    for (size_t j = 0; j < fleet.shape_counts.size(); ++j) {
+      if (j > 0) {
+        text += ",";
+      }
+      text += fleet.shape_counts[j].first + ":" +
+              std::to_string(fleet.shape_counts[j].second);
+    }
+    text += "\n";
   }
   // The replay line reproduces the captured run in full: same seed, scale
   // and overrides (the fleet comes from the files, but the scheduling and
@@ -87,6 +103,7 @@ DatacenterResult RunDatacenterStages(const DcContext& ctx) {
     dc.has_scheduling = true;
     dc.scheduling = Timed(dc.timing.scheduling_seconds,
                           [&] { return RunSchedulingStage(ctx, fleet.cluster); });
+    dc.timing.arena_high_water_bytes = dc.scheduling.arena_high_water_bytes;
   }
   dc.placement = Timed(dc.timing.placement_seconds,
                        [&] { return RunPlacementAuditStage(ctx, fleet.cluster); });
@@ -165,7 +182,17 @@ ScenarioRunResult RunScenario(const ScenarioConfig& base_config,
   run.result.seed = options.seed;
   run.result.scale = options.scale;
   run.result.trace_source = MakeTraceSource(config).Provenance();
-  run.result.overrides = options.overrides;
+  // Execution-layout overrides (shard counts) are provenance of HOW the run
+  // executed, not WHAT it computed: they go in the stripped "timing" block,
+  // so `--set rm_shards=8` cannot change a deterministic byte. The trace
+  // MANIFEST keeps the full override list (its replay line must reproduce
+  // the exact invocation).
+  for (const std::string& override_text : options.overrides) {
+    if (override_text.rfind("rm_shards=", 0) != 0 &&
+        override_text.rfind("nn_shards=", 0) != 0) {
+      run.result.overrides.push_back(override_text);
+    }
+  }
   run.result.datacenters.resize(labels.size());
 
   const int threads = options.threads > 0 ? options.threads : DefaultDriverThreads();
@@ -189,10 +216,17 @@ ScenarioRunResult RunScenario(const ScenarioConfig& base_config,
     result.datacenters[static_cast<size_t>(i)] = RunDatacenterStages(ctx);
   });
   result.timing.threads = threads;
+  result.timing.rm_shards = config.rm_shards;
+  result.timing.nn_shards = config.nn_shards;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // Linux reports ru_maxrss in kilobytes.
+    result.timing.peak_rss_bytes = static_cast<int64_t>(usage.ru_maxrss) * 1024;
+  }
   result.timing.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start).count();
   if (!options.dump_traces_dir.empty()) {
-    WriteTraceManifest(options.dump_traces_dir, config, options, labels);
+    WriteTraceManifest(options.dump_traces_dir, config, options, labels, result);
   }
 
   run.summary = SummarizeScenario(run.result);

@@ -5,7 +5,7 @@
 // per-DC results, in DC order, into one ScenarioResult plus its rendered
 // JSON document.
 //
-// Datacenters run on a thread pool (src/driver/executor.h). Determinism
+// Datacenters run on a thread pool (src/util/executor.h). Determinism
 // contract: same (scenario, seed, scale) => byte-identical JSON for ANY
 // --threads value, because every stage draws from a stream derived from
 // (seed, dc index, stage tag) alone and results are assembled by index.

@@ -218,6 +218,21 @@ Apply StringKnob(std::string ScenarioConfig::* field) {
   };
 }
 
+// Shard-count knobs: 0 means "auto from fleet size", so zero is valid.
+Apply ShardCountKnob(int ScenarioConfig::* field) {
+  return [field](ScenarioConfig& config, std::string_view value, std::string* error) {
+    int64_t parsed = 0;
+    if (!ParseInt64(value, &parsed, error)) {
+      return false;
+    }
+    if (parsed < 0 || parsed > 4096) {
+      return Fail(error, "value must be an integer in [0, 4096] (0 = auto)");
+    }
+    config.*field = static_cast<int>(parsed);
+    return true;
+  };
+}
+
 template <typename Int>
 Apply PositiveIntKnob(Int ScenarioConfig::* field) {
   // Cap at what the target field type holds (and a generous absolute bound
@@ -278,6 +293,10 @@ std::vector<ScenarioKnob> MakeKnobs() {
       PositiveIntKnob(&ScenarioConfig::reimage_months));
   add("per_server_traces", "bool", "materialize per-server (vs shared per-tenant) traces",
       BoolKnob(&ScenarioConfig::per_server_traces));
+  add("rm_shards", "int >= 0", "RM accounting shards (0 = auto from fleet size)",
+      ShardCountKnob(&ScenarioConfig::rm_shards));
+  add("nn_shards", "int >= 0", "NameNode accounting shards (0 = auto from fleet size)",
+      ShardCountKnob(&ScenarioConfig::nn_shards));
   add("reimage_storm", "bool", "boost correlated mass-reimage events",
       BoolKnob(&ScenarioConfig::reimage_storm));
   add("storm_monthly_prob", "double in [0, 1]", "monthly mass-event probability per tenant",

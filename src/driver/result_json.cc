@@ -167,12 +167,16 @@ void WriteAvailability(JsonWriter& json, const AvailabilityStageResult& availabi
 void WriteTiming(JsonWriter& json, const ScenarioResult& result) {
   json.Key("timing").BeginObject();
   json.Field("threads", result.timing.threads);
+  json.Field("rm_shards", result.timing.rm_shards);
+  json.Field("nn_shards", result.timing.nn_shards);
+  json.Field("peak_rss_bytes", result.timing.peak_rss_bytes);
   json.Field("total_seconds", result.timing.total_seconds);
   json.Key("datacenters").BeginArray();
   for (const DatacenterResult& dc : result.datacenters) {
     json.BeginObject();
     json.Field("name", dc.name);
     json.Field("fleet_build_seconds", dc.timing.fleet_build_seconds);
+    json.Field("arena_high_water_bytes", dc.timing.arena_high_water_bytes);
     json.Field("clustering_seconds", dc.timing.clustering_seconds);
     if (dc.has_scheduling) {
       json.Field("scheduling_seconds", dc.timing.scheduling_seconds);

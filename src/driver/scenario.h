@@ -92,6 +92,15 @@ struct ScenarioConfig {
   int64_t availability_blocks = 10000;
   int64_t availability_accesses = 50000;
   std::vector<double> availability_utilizations = {0.30, 0.50};
+
+  // --- Execution layout (never changes any emitted byte) ---
+  // Accounting shards for the scheduler RM and the storage NameNodes;
+  // 0 = auto from fleet size (FleetTable::AutoShardCount). Like --threads,
+  // these are layout knobs: the driver excludes them from the rendered
+  // "overrides" provenance (they go in the stripped "timing" block instead)
+  // and tests/shard_determinism.sh enforces byte-identity across values.
+  int rm_shards = 0;
+  int nn_shards = 0;
 };
 
 // The built-in preset definitions, in stable order. Consumed once by the

@@ -4,7 +4,7 @@
 
 #include <algorithm>
 
-#include "src/driver/executor.h"
+#include "src/util/executor.h"
 #include "src/driver/stage.h"
 #include "src/experiments/cluster_scaling.h"
 #include "src/experiments/scheduling_sim.h"
@@ -49,6 +49,11 @@ SchedulingStageResult RunSchedulingStage(const DcContext& ctx, const Cluster& cl
   options.thresholds.short_below *= config.job_duration_factor;
   options.thresholds.long_above *= config.job_duration_factor;
   options.seed = ctx.StreamSeed("scheduling");
+  options.rm_shards = config.rm_shards;
+  options.nn_shards = config.nn_shards;
+  // Whatever headroom remains after the PT / H task split feeds the RM's
+  // per-slot shard refresh.
+  options.slot_threads = std::max(1, ctx.task_threads / 2);
 
   // The PT and H co-simulations are independent: each builds its own RNG
   // from the same stream seed, reads the (const) cluster and suite, and
@@ -67,6 +72,8 @@ SchedulingStageResult RunSchedulingStage(const DcContext& ctx, const Cluster& cl
   SchedulingSimResult& history = runs[1];
 
   SchedulingStageResult result;
+  result.arena_high_water_bytes = std::max(baseline.rm_arena_high_water_bytes,
+                                           history.rm_arena_high_water_bytes);
   result.horizon_seconds = options.horizon_seconds;
   result.mean_interarrival_seconds = options.mean_interarrival_seconds;
   result.target_utilization = config.scheduling_target_utilization;

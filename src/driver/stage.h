@@ -14,7 +14,7 @@
 // DcContext::StreamSeed(tag), where the per-DC seed is derived from the
 // scenario seed and the datacenter *index* alone. Stages therefore never
 // share RNG state across datacenters or across stages, which is what lets
-// the driver run datacenters on a thread pool (src/driver/executor.h) and
+// the driver run datacenters on a thread pool (src/util/executor.h) and
 // still produce byte-identical output for any --threads value.
 
 #ifndef HARVEST_SRC_DRIVER_STAGE_H_
@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/cluster/cluster.h"
@@ -79,6 +80,10 @@ struct FleetStageResult {
   double average_primary_utilization = 0.0;
   int64_t harvestable_blocks = 0;
   int64_t reimage_events = 0;
+  // Server count per capacity shape ("<cores>c<memory_mb>m", FleetTable
+  // order). Feeds the self-describing trace MANIFEST only -- result_json
+  // does not render it, so adding shapes changes no result byte.
+  std::vector<std::pair<std::string, int64_t>> shape_counts;
 };
 
 struct FleetBuildOutput {
@@ -142,6 +147,9 @@ struct SchedulingStageResult {
   double mean_interarrival_seconds = 0.0;
   double target_utilization = 0.0;
   std::string storage_variant;
+  // Max RM scratch-arena high water across the PT / H runs (timing-block
+  // telemetry; not rendered with the scheduling results).
+  int64_t arena_high_water_bytes = 0;
   SchedulingRunResult primary_aware;
   SchedulingRunResult history;
   double history_improvement_percent = 0.0;
@@ -223,6 +231,9 @@ AvailabilityStageResult RunAvailabilityStage(const DcContext& ctx, const Cluster
 // strips or zeroes first.
 struct DcStageTiming {
   double fleet_build_seconds = 0.0;
+  // High-water mark of the scheduling RM's per-slot scratch arena (bytes);
+  // memory telemetry riding the timing block, stripped like the wall times.
+  int64_t arena_high_water_bytes = 0;
   double clustering_seconds = 0.0;
   double scheduling_seconds = 0.0;
   double placement_seconds = 0.0;
@@ -248,6 +259,13 @@ struct DatacenterResult {
 // Whole-run timing telemetry (the top half of the JSON "timing" block).
 struct RunTiming {
   int threads = 0;            // worker threads the per-DC loop used
+  // Resolved execution-layout knobs (0 = auto): provenance for the run's
+  // shard configuration, kept out of "overrides" so layout never changes
+  // the deterministic bytes.
+  int rm_shards = 0;
+  int nn_shards = 0;
+  // Peak resident set of the whole process (getrusage ru_maxrss), bytes.
+  int64_t peak_rss_bytes = 0;
   double total_seconds = 0.0; // RunScenario wall time
 };
 

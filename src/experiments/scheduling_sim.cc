@@ -40,7 +40,8 @@ class SchedulingSimulation {
       : cluster_(cluster),
         options_(options),
         rng_(options.seed),
-        rm_(&cluster, options.mode, options.reserve),
+        rm_(&cluster, options.mode, options.reserve, options.rm_shards,
+            options.slot_threads),
         history_(options.thresholds),
         latency_model_() {
     // Scale the suite once.
@@ -121,6 +122,7 @@ class SchedulingSimulation {
     NameNodeOptions nn_options;
     nn_options.replication = options_.replication;
     nn_options.primary_aware_access = options_.storage != StorageVariant::kStock;
+    nn_options.shards = options_.nn_shards;
     std::unique_ptr<PlacementPolicy> policy;
     if (options_.storage == StorageVariant::kHistory) {
       policy = std::make_unique<HistoryPlacement>(&cluster_);
@@ -527,6 +529,7 @@ class SchedulingSimulation {
     if (name_node_) {
       result_.storage = name_node_->stats();
     }
+    result_.rm_arena_high_water_bytes = rm_.arena_high_water_bytes();
     return std::move(result_);
   }
 

@@ -126,6 +126,7 @@ StorageCosimResult RunStorageCosim(const Cluster& cluster, const StorageTimeline
   nn_options.primary_aware_access = options.primary_aware_access;
   nn_options.detection_delay_seconds = options.detection_delay_seconds;
   nn_options.rereplication_blocks_per_hour = options.rereplication_blocks_per_hour;
+  nn_options.shards = options.nn_shards;
   NameNode name_node(&cluster, MakePlacementPolicy(options.placement, &cluster), nn_options,
                      &policy_rng);
 

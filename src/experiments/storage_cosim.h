@@ -91,6 +91,9 @@ struct StorageCosimOptions {
   uint64_t writer_seed = 1;
   // Per-kind policy stream.
   uint64_t policy_seed = 1;
+  // NameNode accounting shards (0 = auto from fleet size). Execution layout
+  // only: byte-identical results for any value.
+  int nn_shards = 0;
 };
 
 struct StorageCosimResult {

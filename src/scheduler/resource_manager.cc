@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
+#include "src/util/executor.h"
 #include "src/util/logging.h"
 
 namespace harvest {
@@ -40,30 +40,22 @@ const char* SchedulerModeName(SchedulerMode mode) {
   return "unknown";
 }
 
-ResourceManager::ResourceManager(const Cluster* cluster, SchedulerMode mode, Resources reserve)
-    : cluster_(cluster), mode_(mode) {
+ResourceManager::ResourceManager(const Cluster* cluster, SchedulerMode mode, Resources reserve,
+                                 int shards, int slot_threads)
+    : cluster_(cluster), mode_(mode), table_(*cluster) {
+  const int resolved =
+      shards <= 0 ? FleetTable::AutoShardCount(cluster->num_servers()) : shards;
+  shard_starts_ = table_.ShardStarts(resolved);
+  slot_threads_ = std::max(1, slot_threads);
   nodes_.reserve(cluster->num_servers());
-  node_trace_.reserve(cluster->num_servers());
-  // Group servers by their (shared) utilization trace: at DC scale a
-  // tenant's servers share one trace object, so one sliding window serves
-  // them all. Lookup only -- the map is never iterated, so its order cannot
-  // leak into results.
-  std::unordered_map<const UtilizationTrace*, int> trace_index;
   for (const auto& server : cluster->servers()) {
     nodes_.emplace_back(&server, reserve, mode);
-    const UtilizationTrace* trace = server.utilization.get();
-    if (trace == nullptr || trace->empty()) {
-      node_trace_.push_back(-1);
-      continue;
-    }
-    auto [it, inserted] =
-        trace_index.emplace(trace, static_cast<int>(trace_windows_.size()));
-    if (inserted) {
-      TraceWindow window;
-      window.trace = trace;
-      trace_windows_.push_back(std::move(window));
-    }
-    node_trace_.push_back(it->second);
+  }
+  // One sliding window per distinct utilization trace: the FleetTable pools
+  // shared traces (per-tenant traces at DC scale) to first-appearance ids.
+  trace_windows_.resize(static_cast<size_t>(table_.num_traces()));
+  for (int w = 0; w < table_.num_traces(); ++w) {
+    trace_windows_[static_cast<size_t>(w)].trace = table_.trace(w);
   }
   std::vector<int> server_class(cluster->num_servers(), 0);
   SetServerClasses(std::move(server_class));
@@ -90,7 +82,23 @@ void ResourceManager::SetServerClasses(std::vector<int> server_class) {
   node_forecast_cores_.assign(nodes_.size(), 0);
   node_avail_.assign(nodes_.size(), Resources{0, 0});
   node_weight_.assign(nodes_.size(), 0);
-  class_pickers_.assign(static_cast<size_t>(num_classes_), WeightedPicker());
+  // Shard layouts: the global sampler follows the FleetTable partition; each
+  // class sampler inherits it positionally (class lists are in ascending
+  // ServerId order, so shard k of class c is a contiguous position range --
+  // possibly empty -- and shard k's rebuild task owns it exclusively).
+  all_servers_picker_.SetLayout(shard_starts_, nodes_.size());
+  class_pickers_.assign(static_cast<size_t>(num_classes_), ShardedPicker());
+  for (int c = 0; c < num_classes_; ++c) {
+    const auto& servers = class_servers_[static_cast<size_t>(c)];
+    std::vector<size_t> starts;
+    starts.reserve(shard_starts_.size());
+    for (size_t shard_start : shard_starts_) {
+      const auto it = std::lower_bound(servers.begin(), servers.end(),
+                                       static_cast<ServerId>(shard_start));
+      starts.push_back(static_cast<size_t>(it - servers.begin()));
+    }
+    class_pickers_[static_cast<size_t>(c)].SetLayout(std::move(starts), servers.size());
+  }
   class_avail_cores_.assign(static_cast<size_t>(num_classes_), 0);
   class_util_slot_.assign(static_cast<size_t>(num_classes_), kNoSlot);
   class_util_value_.assign(static_cast<size_t>(num_classes_), 1.0);
@@ -106,9 +114,6 @@ void ResourceManager::EnsureSlot(double t) const {
   }
   cached_slot_ = slot;
   cache_time_ = t;
-  for (size_t s = 0; s < nodes_.size(); ++s) {
-    node_primary_cores_[s] = nodes_[s].PrimaryCores(t);
-  }
   if (profile_.valid && profile_.history_aware) {
     RefreshForecasts();
   }
@@ -148,23 +153,36 @@ void ResourceManager::RefreshForecasts() const {
   }
   // A window-size change, a backward jump, or a jump past the whole window
   // rebuilds from scratch (one naive-cost pass); the common slot-to-slot
-  // advance slides each deque in amortized O(1) per trace.
+  // advance slides each deque in amortized O(1) per trace. Windows are
+  // independent, so the slides fan out across workers.
   const bool rebuild = samples != forecast_samples_ || forecast_start_slot_ == kNoSlot ||
                        start_slot < forecast_start_slot_ ||
                        start_slot - forecast_start_slot_ >= samples;
-  for (TraceWindow& window : trace_windows_) {
-    AdvanceTraceWindow(window, start_slot, samples, rebuild);
-  }
+  ParallelForIndex(slot_threads_, table_.num_traces(), [&](int w) {
+    AdvanceTraceWindow(trace_windows_[static_cast<size_t>(w)], start_slot, samples, rebuild);
+  });
   forecast_start_slot_ = start_slot;
   forecast_samples_ = samples;
-  for (size_t s = 0; s < nodes_.size(); ++s) {
-    const int trace = node_trace_[s];
-    node_forecast_cores_[s] =
-        trace < 0 ? 0
-                  : NodeManager::ForecastCoresFromPeak(
-                        trace_windows_[static_cast<size_t>(trace)].peak,
-                        nodes_[s].server().capacity.cores);
-  }
+  // Broadcast window peaks to per-server forecast cores, once per telemetry
+  // group (the rounded forecast depends only on the trace and the capacity,
+  // both group-constant). Groups never straddle shards.
+  const std::vector<int32_t>& trace_of = table_.trace_index();
+  const std::vector<int>& cores_of = table_.capacity_cores();
+  ParallelForIndex(slot_threads_, num_shards(), [&](int shard) {
+    const size_t end = all_servers_picker_.shard_end(shard);
+    size_t s = all_servers_picker_.shard_begin(shard);
+    while (s < end) {
+      const size_t group_end = std::min(end, table_.group_end(table_.group()[s]));
+      const int trace = trace_of[s];
+      const int cores =
+          trace < 0 ? 0
+                    : NodeManager::ForecastCoresFromPeak(
+                          trace_windows_[static_cast<size_t>(trace)].peak, cores_of[s]);
+      for (; s < group_end; ++s) {
+        node_forecast_cores_[s] = cores;
+      }
+    }
+  });
 }
 
 int64_t ResourceManager::NodeWeight(ServerId s) const {
@@ -184,25 +202,65 @@ int64_t ResourceManager::NodeWeight(ServerId s) const {
 }
 
 void ResourceManager::RebuildAvailabilityAndWeights() const {
-  std::fill(class_avail_cores_.begin(), class_avail_cores_.end(), 0);
-  for (size_t s = 0; s < nodes_.size(); ++s) {
-    node_avail_[s] = nodes_[s].AvailableForSecondaryGiven(node_primary_cores_[s]);
-    int c = server_class_[s];
-    if (c >= 0 && c < num_classes_) {
-      class_avail_cores_[static_cast<size_t>(c)] += node_avail_[s].cores;
-    }
-    node_weight_[s] = profile_.valid ? NodeWeight(static_cast<ServerId>(s)) : 0;
-  }
-  all_servers_picker_.Build(node_weight_);
-  std::vector<int64_t> scratch;
+  const int shards = num_shards();
+  // Arena scratch for this rebuild: per-(shard, class) available-core
+  // partials and per-class dense weight columns (position-indexed, each
+  // shard writing only its own position range). All allocation happens
+  // before the fan-out; the arena is not thread-safe.
+  arena_.Reset();
+  int64_t* partials =
+      arena_.AllocateArray<int64_t>(static_cast<size_t>(shards) *
+                                    static_cast<size_t>(num_classes_));
+  int64_t** class_cols = arena_.AllocateArray<int64_t*>(static_cast<size_t>(num_classes_));
   for (int c = 0; c < num_classes_; ++c) {
-    const auto& servers = class_servers_[static_cast<size_t>(c)];
-    scratch.assign(servers.size(), 0);
-    for (size_t i = 0; i < servers.size(); ++i) {
-      scratch[i] = node_weight_[static_cast<size_t>(servers[i])];
-    }
-    class_pickers_[static_cast<size_t>(c)].Build(scratch);
+    class_cols[c] = arena_.AllocateArray<int64_t>(class_servers_[static_cast<size_t>(c)].size());
   }
+  ParallelForIndex(slot_threads_, shards, [&](int shard) {
+    const size_t begin = all_servers_picker_.shard_begin(shard);
+    const size_t end = all_servers_picker_.shard_end(shard);
+    // Live primary cores, once per telemetry group (pure function of the
+    // trace and the capacity; identical to the per-server call).
+    {
+      size_t s = begin;
+      while (s < end) {
+        const size_t group_end = std::min(end, table_.group_end(table_.group()[s]));
+        const int cores = nodes_[s].PrimaryCores(cache_time_);
+        for (; s < group_end; ++s) {
+          node_primary_cores_[s] = cores;
+        }
+      }
+    }
+    int64_t* partial = partials + static_cast<size_t>(shard) * static_cast<size_t>(num_classes_);
+    for (size_t s = begin; s < end; ++s) {
+      node_avail_[s] = nodes_[s].AvailableForSecondaryGiven(node_primary_cores_[s]);
+      int c = server_class_[s];
+      if (c >= 0 && c < num_classes_) {
+        partial[c] += node_avail_[s].cores;
+      }
+      node_weight_[s] = profile_.valid ? NodeWeight(static_cast<ServerId>(s)) : 0;
+    }
+    all_servers_picker_.BuildShard(shard, node_weight_.data());
+    for (int c = 0; c < num_classes_; ++c) {
+      ShardedPicker& picker = class_pickers_[static_cast<size_t>(c)];
+      const auto& servers = class_servers_[static_cast<size_t>(c)];
+      const size_t pos_end = picker.shard_end(shard);
+      for (size_t pos = picker.shard_begin(shard); pos < pos_end; ++pos) {
+        class_cols[c][pos] = node_weight_[static_cast<size_t>(servers[pos])];
+      }
+      picker.BuildShard(shard, class_cols[c]);
+    }
+  });
+  // Deterministic merge: shard order, exact integer sums.
+  for (int c = 0; c < num_classes_; ++c) {
+    int64_t cores = 0;
+    for (int shard = 0; shard < shards; ++shard) {
+      cores += partials[static_cast<size_t>(shard) * static_cast<size_t>(num_classes_) +
+                        static_cast<size_t>(c)];
+    }
+    class_avail_cores_[static_cast<size_t>(c)] = cores;
+    class_pickers_[static_cast<size_t>(c)].FinishBuild();
+  }
+  all_servers_picker_.FinishBuild();
 }
 
 void ResourceManager::EnsureProfile(const ContainerRequest& request) {
@@ -259,7 +317,7 @@ std::vector<Container> ResourceManager::Allocate(const ContainerRequest& request
   // server when no label was named (RM default policy). Each segment is a
   // persistent Fenwick sampler; segment order reproduces the order the dense
   // scan used to concatenate candidate lists in.
-  std::vector<const WeightedPicker*> segments;
+  std::vector<const ShardedPicker*> segments;
   std::vector<int> segment_class;  // -1 = all-servers segment
   if (request.allowed_classes.empty()) {
     segments.push_back(&all_servers_picker_);
@@ -279,7 +337,7 @@ std::vector<Container> ResourceManager::Allocate(const ContainerRequest& request
   // see src/util/weighted_picker.h).
   for (int n = 0; n < request.count; ++n) {
     int64_t grand_total = 0;
-    for (const WeightedPicker* segment : segments) {
+    for (const ShardedPicker* segment : segments) {
       grand_total += segment->Total();
     }
     if (grand_total <= 0) {
@@ -288,7 +346,7 @@ std::vector<Container> ResourceManager::Allocate(const ContainerRequest& request
     double point = rng.NextDouble() * static_cast<double>(grand_total);
     ServerId server = kInvalidServer;
     for (size_t g = 0; g < segments.size(); ++g) {
-      const WeightedPicker& segment = *segments[g];
+      const ShardedPicker& segment = *segments[g];
       double segment_total = static_cast<double>(segment.Total());
       // point == 0 (NextDouble() drew 0.0) selects the first positive
       // weight overall, exactly like the dense subtraction scan.
@@ -312,6 +370,7 @@ std::vector<Container> ResourceManager::Allocate(const ContainerRequest& request
     container.resources = request.resources;
     container.start_time = t;
     nodes_[static_cast<size_t>(server)].AddContainer(container);
+    active_.insert(server);
     placed.push_back(container);
     ResyncNode(server);
   }
@@ -319,23 +378,32 @@ std::vector<Container> ResourceManager::Allocate(const ContainerRequest& request
 }
 
 void ResourceManager::Release(const Container& container) {
-  bool removed = nodes_[static_cast<size_t>(container.server)].RemoveContainer(container.id);
+  NodeManager& node = nodes_[static_cast<size_t>(container.server)];
+  bool removed = node.RemoveContainer(container.id);
   HARVEST_CHECK(removed) << "released container " << container.id << " not found on server "
                          << container.server;
+  if (node.idle()) {
+    active_.erase(container.server);
+  }
   ResyncNode(container.server);
 }
 
 std::vector<Container> ResourceManager::EnforceReserves(double t) {
   EnsureSlot(t);
   std::vector<Container> killed;
-  for (size_t s = 0; s < nodes_.size(); ++s) {
-    NodeManager& node = nodes_[s];
-    if (node.idle()) {
-      continue;
-    }
+  // Snapshot: a kill can idle a node and erase it from active_ mid-sweep.
+  // active_ holds exactly the non-idle servers in ascending ServerId order,
+  // so this visits the same nodes in the same order the dense fleet sweep
+  // did (idle nodes contributed nothing there).
+  active_scratch_.assign(active_.begin(), active_.end());
+  for (ServerId s : active_scratch_) {
+    NodeManager& node = nodes_[static_cast<size_t>(s)];
     std::vector<Container> k = node.EnforceReserve(t);
     if (!k.empty()) {
-      ResyncNode(static_cast<ServerId>(s));
+      if (node.idle()) {
+        active_.erase(s);
+      }
+      ResyncNode(s);
       killed.insert(killed.end(), k.begin(), k.end());
     }
   }
@@ -379,6 +447,9 @@ double ResourceManager::AverageTotalUtilization(double t) const {
   if (nodes_.empty()) {
     return 0.0;
   }
+  // Deliberately the dense per-server sum: this is a float accumulation in
+  // ServerId order, and regrouping it (per shard, per group) would change
+  // the rounding -- and therefore emitted bytes.
   double sum = 0.0;
   for (const auto& node : nodes_) {
     sum += node.TotalUtilization(t);
@@ -393,6 +464,11 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
     }
     return false;
   };
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    if (active_.count(static_cast<ServerId>(s)) != (nodes_[s].idle() ? 0u : 1u)) {
+      return fail("active set out of sync for server " + std::to_string(s));
+    }
+  }
   if (cached_slot_ == kNoSlot) {
     return true;  // nothing cached yet
   }
@@ -439,7 +515,7 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
   }
   for (int c = 0; c < num_classes_; ++c) {
     const auto& servers = class_servers_[static_cast<size_t>(c)];
-    const WeightedPicker& picker = class_pickers_[static_cast<size_t>(c)];
+    const ShardedPicker& picker = class_pickers_[static_cast<size_t>(c)];
     const std::string at = " for class " + std::to_string(c);
     int64_t cores = 0;
     int64_t class_weight = 0;

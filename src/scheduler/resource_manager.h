@@ -16,9 +16,25 @@
 // the exactness argument, and tests/rm_oracle_test.cc for the oracle that
 // checks every cached quantity against a naive full rescan).
 //
-// Not thread-safe: one RM belongs to one simulation thread. Callers must not
-// mutate NodeManagers behind the RM's back (use Allocate / Release /
-// EnforceReserves), or the caches desynchronize.
+// Sharding (100k-server DCs): accounting is partitioned into contiguous
+// ServerId shards derived from the FleetTable (snapped to telemetry-group
+// boundaries). Each shard owns one Fenwick sub-tree per sampler and one
+// partial per-class aggregate; the per-slot refresh runs the shards as
+// independent tasks on up to `slot_threads` workers and merges the partials
+// serially in shard order (exact integer sums). Trace-dependent per-slot
+// values (live primary cores, forecast cores) are computed once per
+// telemetry group and broadcast, so slot work is O(groups + active servers)
+// in the shared-trace fleets the paper models; EnforceReserves walks an
+// ordered active-node set instead of the whole fleet. Shard count and
+// thread count are execution-layout knobs: neither may change any emitted
+// byte (src/util/sharded_picker.h has the draw-exactness argument;
+// tests/shard_determinism.sh enforces the contract end to end).
+//
+// Not thread-safe: one RM belongs to one simulation thread (the slot
+// refresh may *internally* fan out to slot_threads workers, but all
+// externally visible state is settled before any call returns). Callers
+// must not mutate NodeManagers behind the RM's back (use Allocate /
+// Release / EnforceReserves), or the caches desynchronize.
 
 #ifndef HARVEST_SRC_SCHEDULER_RESOURCE_MANAGER_H_
 #define HARVEST_SRC_SCHEDULER_RESOURCE_MANAGER_H_
@@ -26,15 +42,18 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/cluster/fleet_table.h"
 #include "src/scheduler/container.h"
 #include "src/scheduler/node_manager.h"
+#include "src/util/arena.h"
 #include "src/util/rng.h"
-#include "src/util/weighted_picker.h"
+#include "src/util/sharded_picker.h"
 
 namespace harvest {
 
@@ -48,9 +67,12 @@ inline constexpr double kMinForecastWindowSeconds = 3.0 * 3600.0;
 class ResourceManager {
  public:
   // Builds one NodeManager per server of `cluster`. The cluster must outlive
-  // the RM. `server_class[s]` maps servers to utilization-class ids for label
-  // matching (empty = no labels, Stock/PT behavior).
-  ResourceManager(const Cluster* cluster, SchedulerMode mode, Resources reserve);
+  // the RM. `shards` partitions the accounting (0 = auto from fleet size,
+  // FleetTable::AutoShardCount); `slot_threads` caps the workers the
+  // per-slot refresh may fan out to. Both are execution layout: results are
+  // byte-identical for every combination.
+  ResourceManager(const Cluster* cluster, SchedulerMode mode, Resources reserve,
+                  int shards = 1, int slot_threads = 1);
 
   void SetServerClasses(std::vector<int> server_class);
 
@@ -63,7 +85,8 @@ class ResourceManager {
   void Release(const Container& container);
 
   // Heartbeat sweep: every NM with containers re-checks its reserve; returns
-  // all containers killed this round.
+  // all containers killed this round. O(active servers): idle nodes have no
+  // containers to kill and are not visited.
   std::vector<Container> EnforceReserves(double t);
 
   // Aggregate state of one utilization class, for Algorithm 1. `class_id`
@@ -83,16 +106,23 @@ class ResourceManager {
   const NodeManager& node(ServerId id) const { return nodes_[static_cast<size_t>(id)]; }
   size_t num_nodes() const { return nodes_.size(); }
   SchedulerMode mode() const { return mode_; }
+  int num_shards() const { return static_cast<int>(shard_starts_.size()); }
 
   // Cluster-wide average total (primary + secondary) utilization at `t`.
   double AverageTotalUtilization(double t) const;
 
   int64_t total_kills() const { return total_kills_; }
 
+  // High-water mark of the per-slot scratch arena, for the driver's memory
+  // telemetry (the "timing" block golden_check strips).
+  int64_t arena_high_water_bytes() const {
+    return static_cast<int64_t>(arena_.high_water_bytes());
+  }
+
   // Test hook: recomputes every cached quantity (per-node availability,
-  // forecasts, weights, per-class aggregates, Fenwick totals) by naive full
-  // rescan at the cached slot's timestamp and compares exactly. Returns
-  // false and fills `error` on the first mismatch.
+  // forecasts, weights, per-class aggregates, Fenwick totals, the active
+  // set) by naive full rescan at the cached slot's timestamp and compares
+  // exactly. Returns false and fills `error` on the first mismatch.
   bool AuditCachesForTest(std::string* error) const;
 
  private:
@@ -134,13 +164,16 @@ class ResourceManager {
   // (amortized O(1) per trace per slot) instead of rescanning the whole
   // O(window) sample set per server -- the ROADMAP-flagged H-mode refresh
   // fix. Exactly equivalent to the naive per-node scan by construction
-  // (same integer slot walk; rm_oracle_test audits it).
+  // (same integer slot walk; rm_oracle_test audits it). Window slides and
+  // the per-shard broadcast both fan out to slot_threads workers.
   void RefreshForecasts() const;
   // Slides (or rebuilds) one trace window to [start_slot, start_slot+samples).
   void AdvanceTraceWindow(TraceWindow& window, int64_t start_slot, int samples,
                           bool rebuild) const;
-  // Recomputes per-node availability + class aggregates from cached primary
-  // cores, and (when a profile is cached) all weights + Fenwick trees.
+  // Recomputes per-node primary cores (once per telemetry group) and
+  // availability + class aggregates, and (when a profile is cached) all
+  // weights + Fenwick sub-trees: one task per shard, partials merged
+  // serially in shard order.
   void RebuildAvailabilityAndWeights() const;
   // Placement weight of server `s` from its cached inputs and live
   // allocations. Zero when the profile's shape does not fit.
@@ -151,6 +184,11 @@ class ResourceManager {
 
   const Cluster* cluster_;
   SchedulerMode mode_;
+  // SoA columns + trace pool + telemetry groups derived from the cluster;
+  // the shard partition is snapped to its group boundaries.
+  FleetTable table_;
+  std::vector<size_t> shard_starts_;
+  int slot_threads_ = 1;
   std::vector<NodeManager> nodes_;
   std::vector<int> server_class_;
   std::vector<std::vector<ServerId>> class_servers_;
@@ -159,6 +197,11 @@ class ResourceManager {
   int num_classes_ = 0;
   ContainerId next_container_id_ = 1;
   int64_t total_kills_ = 0;
+  // Exactly the non-idle servers, ordered by ServerId: EnforceReserves
+  // visits these and only these (the dense sweep skipped idle nodes, so the
+  // visit order -- and every emitted byte -- is unchanged).
+  std::set<ServerId> active_;
+  std::vector<ServerId> active_scratch_;  // iteration snapshot (kills mutate active_)
 
   // --- Per-slot caches (mutable: const queries refresh them lazily) -------
   mutable int64_t cached_slot_ = kNoSlot;
@@ -166,23 +209,25 @@ class ResourceManager {
   PlacementProfile profile_;
   mutable std::vector<int> node_primary_cores_;
   mutable std::vector<int> node_forecast_cores_;
-  // Forecast sliding windows: one per distinct utilization trace, plus each
-  // server's window index (-1 = no trace, forecast 0).
+  // Forecast sliding windows: one per distinct utilization trace (the
+  // FleetTable's pooled trace index), plus each server's pooled id.
   mutable std::vector<TraceWindow> trace_windows_;
-  std::vector<int> node_trace_;
   mutable int64_t forecast_start_slot_ = kNoSlot;
   mutable int forecast_samples_ = 0;
   mutable std::vector<Resources> node_avail_;
   mutable std::vector<int64_t> node_weight_;
   // Placement samplers: all servers in ServerId order (label-free requests)
-  // and one per class in class-list order (labeled requests).
-  mutable WeightedPicker all_servers_picker_;
-  mutable std::vector<WeightedPicker> class_pickers_;
+  // and one per class in class-list order (labeled requests). Sharded: one
+  // Fenwick sub-tree per shard, rebuilt shard-parallel each slot.
+  mutable ShardedPicker all_servers_picker_;
+  mutable std::vector<ShardedPicker> class_pickers_;
   // Running aggregate: sum of cached available cores per class.
   mutable std::vector<int64_t> class_avail_cores_;
   // Per-class mean primary utilization, computed once per slot on demand.
   mutable std::vector<int64_t> class_util_slot_;
   mutable std::vector<double> class_util_value_;
+  // Per-slot rebuild scratch (per-shard class partials, weight columns).
+  mutable Arena arena_;
 };
 
 }  // namespace harvest

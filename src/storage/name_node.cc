@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/cluster/fleet_table.h"
 #include "src/util/logging.h"
 
 namespace harvest {
@@ -11,9 +12,26 @@ NameNode::NameNode(const Cluster* cluster, std::unique_ptr<PlacementPolicy> poli
     : cluster_(cluster), policy_(std::move(policy)), options_(options), rng_(rng) {
   data_nodes_.reserve(cluster->num_servers());
   source_free_at_.assign(cluster->num_servers(), 0.0);
+  server_shard_.reserve(cluster->num_servers());
+  RackId num_racks = 0;
   for (const auto& server : cluster->servers()) {
     data_nodes_.emplace_back(&server, server.harvestable_blocks);
+    num_racks = std::max(num_racks, server.rack + 1);
   }
+  // Shard by rack (contiguous rack ranges): a rack -- and every replica
+  // index on it -- lives wholly in one shard. 0 = auto from fleet size.
+  const int shards =
+      options_.shards <= 0 ? FleetTable::AutoShardCount(cluster->num_servers())
+                           : options_.shards;
+  for (const auto& server : cluster->servers()) {
+    server_shard_.push_back(static_cast<int32_t>(
+        num_racks == 0 ? 0
+                       : static_cast<int64_t>(server.rack) * shards / num_racks));
+  }
+  shard_queues_.resize(static_cast<size_t>(shards));
+  shard_under_replicated_.assign(static_cast<size_t>(shards), 0);
+  shard_blocks_lost_.assign(static_cast<size_t>(shards), 0);
+  shard_live_replicas_.assign(static_cast<size_t>(shards), 0);
 }
 
 bool NameNode::ServerHasSpace(ServerId server, BlockId block) const {
@@ -33,6 +51,7 @@ bool NameNode::ServerHasSpace(ServerId server, BlockId block) const {
 void NameNode::AddReplicaToServer(BlockId block, ServerId server) {
   data_nodes_[static_cast<size_t>(server)].AddReplica(block);
   blocks_[static_cast<size_t>(block)].replicas.push_back(server);
+  ++shard_live_replicas_[static_cast<size_t>(ShardOf(server))];
 }
 
 BlockId NameNode::CreateBlock(ServerId writer, double now) {
@@ -48,12 +67,15 @@ BlockId NameNode::CreateBlock(ServerId writer, double now) {
     return -1;
   }
   blocks_.emplace_back();
+  // The block's accounting home: the shard of its lowest-id initial replica
+  // (placed is sorted), fixed for the block's lifetime.
+  block_home_shard_.push_back(ShardOf(placed.front()));
   for (ServerId s : placed) {
     AddReplicaToServer(id, s);
   }
   ++stats_.blocks_created;
   if (IsUnderReplicated(blocks_.back())) {
-    ++under_replicated_;
+    ++shard_under_replicated_[static_cast<size_t>(HomeShard(id))];
   }
   return id;
 }
@@ -98,7 +120,10 @@ void NameNode::QueueRereplication(BlockId block, double now) {
   double done = start + interval;
   source_free_at_[static_cast<size_t>(best)] = done;
   ++state.inflight;
-  rereplication_queue_.push(PendingRereplication{done, block, best});
+  // Enqueue on the source's shard; (ready_time, seq) is a total order, so
+  // the cross-shard merge pop equals the single-queue pop exactly.
+  shard_queues_[static_cast<size_t>(ShardOf(best))].push(
+      PendingRereplication{done, block, best, next_heal_seq_++});
 }
 
 void NameNode::OnReimage(ServerId server, double now) {
@@ -111,8 +136,10 @@ void NameNode::OnReimage(ServerId server, double now) {
   // Detach them from the block map first, then drop the whole index at once
   // (cheaper than per-entry swap-removes that would only shuffle a list
   // about to be cleared).
+  const size_t server_shard = static_cast<size_t>(ShardOf(server));
   for (BlockId block : dn.blocks()) {
     BlockState& state = blocks_[static_cast<size_t>(block)];
+    const size_t home = static_cast<size_t>(HomeShard(block));
     const bool was_under = IsUnderReplicated(state);
     size_t index = 0;
     while (index < state.replicas.size() && state.replicas[index] != server) {
@@ -124,6 +151,7 @@ void NameNode::OnReimage(ServerId server, double now) {
     // deterministic tie-breaking in source selection.
     state.replicas.erase(state.replicas.begin() + static_cast<std::ptrdiff_t>(index));
     ++stats_.replicas_destroyed;
+    --shard_live_replicas_[server_shard];
     if (state.lost) {
       continue;
     }
@@ -132,13 +160,14 @@ void NameNode::OnReimage(ServerId server, double now) {
       // replicas cannot complete: the data is unrecoverable.
       state.lost = true;
       ++stats_.blocks_lost;
+      ++shard_blocks_lost_[home];
       if (was_under) {
-        --under_replicated_;
+        --shard_under_replicated_[home];
       }
       continue;
     }
     if (!was_under) {
-      ++under_replicated_;
+      ++shard_under_replicated_[home];
     }
     QueueRereplication(block, now);
   }
@@ -146,9 +175,28 @@ void NameNode::OnReimage(ServerId server, double now) {
 }
 
 void NameNode::ProcessRereplication(double now) {
-  while (!rereplication_queue_.empty() && rereplication_queue_.top().ready_time <= now) {
-    PendingRereplication pending = rereplication_queue_.top();
-    rereplication_queue_.pop();
+  while (true) {
+    // Pop the global (ready_time, seq) minimum across the shard queues --
+    // exactly the order one merged queue would pop in, so the placement
+    // policy consumes the RNG identically for every shard count.
+    int best_shard = -1;
+    for (size_t k = 0; k < shard_queues_.size(); ++k) {
+      const HealQueue& queue = shard_queues_[k];
+      if (queue.empty() || queue.top().ready_time > now) {
+        continue;
+      }
+      if (best_shard < 0 ||
+          PopsBefore(queue.top(),
+                     shard_queues_[static_cast<size_t>(best_shard)].top())) {
+        best_shard = static_cast<int>(k);
+      }
+    }
+    if (best_shard < 0) {
+      break;
+    }
+    HealQueue& best_queue = shard_queues_[static_cast<size_t>(best_shard)];
+    PendingRereplication pending = best_queue.top();
+    best_queue.pop();
     BlockState& state = blocks_[static_cast<size_t>(pending.block)];
     --state.inflight;
     if (state.lost) {
@@ -192,7 +240,8 @@ void NameNode::ProcessRereplication(double now) {
     if (static_cast<int>(state.replicas.size()) < options_.replication) {
       QueueRereplication(pending.block, pending.ready_time);
     } else {
-      --under_replicated_;  // healed back to target
+      // Healed back to target.
+      --shard_under_replicated_[static_cast<size_t>(HomeShard(pending.block))];
     }
   }
 }
@@ -208,24 +257,32 @@ bool NameNode::AuditStateForTest(std::string* error) const {
     }
     return false;
   };
-  // Dense rescan of the authoritative block map.
-  int64_t lost = 0;
-  int64_t under = 0;
+  // Dense rescan of the authoritative block map, re-deriving the per-shard
+  // breakdown the incremental path maintains.
+  const size_t shards = shard_queues_.size();
+  std::vector<int64_t> lost_by_shard(shards, 0);
+  std::vector<int64_t> under_by_shard(shards, 0);
+  std::vector<int64_t> replicas_by_shard(shards, 0);
   int64_t inflight_total = 0;
   std::vector<int64_t> per_server(data_nodes_.size(), 0);
+  if (block_home_shard_.size() != blocks_.size()) {
+    return fail("home-shard column out of sync with the block map");
+  }
   for (size_t b = 0; b < blocks_.size(); ++b) {
     const BlockState& state = blocks_[b];
+    const size_t home = static_cast<size_t>(block_home_shard_[b]);
     if (state.lost) {
-      ++lost;
+      ++lost_by_shard[home];
       if (!state.replicas.empty()) {
         return fail("lost block " + std::to_string(b) + " still has replicas");
       }
     } else if (static_cast<int>(state.replicas.size()) < options_.replication) {
-      ++under;
+      ++under_by_shard[home];
     }
     for (size_t i = 0; i < state.replicas.size(); ++i) {
       const size_t s = static_cast<size_t>(state.replicas[i]);
       ++per_server[s];
+      ++replicas_by_shard[static_cast<size_t>(server_shard_[s])];
       for (size_t j = i + 1; j < state.replicas.size(); ++j) {
         if (state.replicas[j] == state.replicas[i]) {
           return fail("block " + std::to_string(b) + " has duplicate replicas on server " +
@@ -257,18 +314,35 @@ bool NameNode::AuditStateForTest(std::string* error) const {
       }
     }
   }
+  int64_t lost = 0;
+  int64_t queued = 0;
+  for (size_t k = 0; k < shards; ++k) {
+    const std::string at = " for shard " + std::to_string(k);
+    if (lost_by_shard[k] != shard_blocks_lost_[k]) {
+      return fail("per-shard loss aggregate mismatch" + at + ": " +
+                  std::to_string(shard_blocks_lost_[k]) + " cached vs " +
+                  std::to_string(lost_by_shard[k]) + " rescanned");
+    }
+    if (under_by_shard[k] != shard_under_replicated_[k]) {
+      return fail("per-shard under-replication aggregate mismatch" + at + ": " +
+                  std::to_string(shard_under_replicated_[k]) + " cached vs " +
+                  std::to_string(under_by_shard[k]) + " rescanned");
+    }
+    if (replicas_by_shard[k] != shard_live_replicas_[k]) {
+      return fail("per-shard live-replica count mismatch" + at + ": " +
+                  std::to_string(shard_live_replicas_[k]) + " cached vs " +
+                  std::to_string(replicas_by_shard[k]) + " rescanned");
+    }
+    lost += lost_by_shard[k];
+    queued += static_cast<int64_t>(shard_queues_[k].size());
+  }
   if (lost != stats_.blocks_lost) {
     return fail("loss aggregate mismatch: " + std::to_string(stats_.blocks_lost) +
                 " cached vs " + std::to_string(lost) + " rescanned");
   }
-  if (under != under_replicated_) {
-    return fail("under-replication aggregate mismatch: " + std::to_string(under_replicated_) +
-                " cached vs " + std::to_string(under) + " rescanned");
-  }
-  if (inflight_total != static_cast<int64_t>(rereplication_queue_.size())) {
+  if (inflight_total != queued) {
     return fail("inflight sum " + std::to_string(inflight_total) +
-                " does not match queue size " +
-                std::to_string(rereplication_queue_.size()));
+                " does not match total queued heals " + std::to_string(queued));
   }
   return true;
 }

@@ -12,10 +12,20 @@
 // aggregates are maintained at every transition. AuditStateForTest()
 // recomputes all of it by dense rescan; tests/storage_oracle_test.cc drives
 // randomized reimage/access sequences against it.
+//
+// Sharding (100k-server DCs): the accounting is additionally partitioned by
+// rack into NameNodeOptions::shards contiguous rack ranges. Heal queues are
+// per shard (keyed by the heal source's rack) and popped as a k-way merge
+// on the (ready_time, seq) total order; loss / under-replication aggregates
+// are per shard and summed in shard order. Shard count is execution layout:
+// it must never change an emitted byte -- the merge pops the exact order a
+// single queue would, and the oracle test re-runs its randomized sequences
+// at shard counts {1, 3, 8} against the dense reference.
 
 #ifndef HARVEST_SRC_STORAGE_NAME_NODE_H_
 #define HARVEST_SRC_STORAGE_NAME_NODE_H_
 
+#include <cstdint>
 #include <memory>
 #include <queue>
 #include <string>
@@ -47,6 +57,13 @@ struct NameNodeOptions {
   double detection_delay_seconds = 300.0;
   // Re-replication throttle per source server (paper §5.1).
   double rereplication_blocks_per_hour = 30.0;
+  // Accounting shards (contiguous rack ranges): heal queues and the loss /
+  // under-replication aggregates are kept per shard and merged
+  // deterministically, so shard count -- like thread count -- never changes
+  // an emitted byte. 0 = auto from fleet size
+  // (FleetTable::AutoShardCount); tests/storage_oracle_test.cc audits the
+  // sharded state against the dense single-shard reference.
+  int shards = 1;
 };
 
 struct StorageStats {
@@ -103,8 +120,16 @@ class NameNode {
   bool Lost(BlockId block) const { return blocks_[static_cast<size_t>(block)].lost; }
 
   const StorageStats& stats() const { return stats_; }
-  // Live blocks currently below their target replication (running aggregate).
-  int64_t UnderReplicatedBlocks() const { return under_replicated_; }
+  // Live blocks currently below their target replication: the per-shard
+  // running aggregates merged in shard order (exact integer sums).
+  int64_t UnderReplicatedBlocks() const {
+    int64_t total = 0;
+    for (int64_t shard : shard_under_replicated_) {
+      total += shard;
+    }
+    return total;
+  }
+  int num_shards() const { return static_cast<int>(shard_queues_.size()); }
   const PlacementPolicy& policy() const { return *policy_; }
   DataNode& data_node(ServerId id) { return data_nodes_[static_cast<size_t>(id)]; }
   int64_t num_blocks() const { return static_cast<int64_t>(blocks_.size()); }
@@ -126,12 +151,29 @@ class NameNode {
     double ready_time = 0.0;
     BlockId block = 0;
     ServerId source = kInvalidServer;
+    // Global push sequence number: the (ready_time, seq) pair is a total
+    // order over all pending heals. Heal completions tie constantly (every
+    // block wiped by one reimage and sourced from a fresh server completes
+    // at the same instant), and a heap's tie order is unspecified -- but the
+    // sharded k-way merge needs the single- and multi-queue pop orders to be
+    // THE SAME order, or the policy-RNG draw order (and every byte
+    // downstream) would depend on the shard count.
+    uint64_t seq = 0;
   };
   struct ReadyAfter {
     bool operator()(const PendingRereplication& a, const PendingRereplication& b) const {
-      return a.ready_time > b.ready_time;
+      return a.ready_time > b.ready_time ||
+             (a.ready_time == b.ready_time && a.seq > b.seq);
     }
   };
+  // True when `a` pops before `b` under the (ready_time, seq) total order.
+  static bool PopsBefore(const PendingRereplication& a, const PendingRereplication& b) {
+    return a.ready_time < b.ready_time ||
+           (a.ready_time == b.ready_time && a.seq < b.seq);
+  }
+
+  using HealQueue =
+      std::priority_queue<PendingRereplication, std::vector<PendingRereplication>, ReadyAfter>;
 
   bool ServerHasSpace(ServerId server, BlockId block) const;
   // Queues one re-replication for `block`, choosing the least-loaded source.
@@ -140,6 +182,16 @@ class NameNode {
   void AddReplicaToServer(BlockId block, ServerId server);
   bool IsUnderReplicated(const BlockState& state) const {
     return !state.lost && static_cast<int>(state.replicas.size()) < options_.replication;
+  }
+  // The accounting shard of `server` (contiguous rack ranges).
+  int32_t ShardOf(ServerId server) const {
+    return server_shard_[static_cast<size_t>(server)];
+  }
+  // The shard a block's loss / under-replication is accounted on: the shard
+  // of its first replica at creation, fixed for the block's lifetime (the
+  // replica set churns; the accounting home must not).
+  int32_t HomeShard(BlockId block) const {
+    return block_home_shard_[static_cast<size_t>(block)];
   }
 
   const Cluster* cluster_;
@@ -150,10 +202,24 @@ class NameNode {
   std::vector<BlockState> blocks_;
   // Earliest time each server can source its next re-replication.
   std::vector<double> source_free_at_;
-  std::priority_queue<PendingRereplication, std::vector<PendingRereplication>, ReadyAfter>
-      rereplication_queue_;
+  // --- Sharded accounting (ISSUE 6) ---------------------------------------
+  // Shard of each server, by rack: racks are split into num_shards()
+  // contiguous ranges, so one rack -- and every replica index on it -- lives
+  // wholly in one shard.
+  std::vector<int32_t> server_shard_;
+  std::vector<int32_t> block_home_shard_;
+  // One heal queue per shard, keyed by the heal's source server.
+  // ProcessRereplication pops the global (ready_time, seq) minimum across
+  // shards, which is exactly the order one merged queue would pop in.
+  std::vector<HealQueue> shard_queues_;
+  uint64_t next_heal_seq_ = 0;
+  // Per-shard running aggregates, merged in shard order on query / at stage
+  // boundaries. Loss and under-replication are accounted on the block's
+  // home shard; the replica count on the hosting server's shard.
+  std::vector<int64_t> shard_under_replicated_;
+  std::vector<int64_t> shard_blocks_lost_;
+  std::vector<int64_t> shard_live_replicas_;
   StorageStats stats_;
-  int64_t under_replicated_ = 0;
   // Scratch for ProcessRereplication (keeps the heal path allocation-free).
   std::vector<ServerId> existing_scratch_;
 };

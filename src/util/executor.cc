@@ -1,4 +1,4 @@
-#include "src/driver/executor.h"
+#include "src/util/executor.h"
 
 #include <algorithm>
 #include <atomic>

@@ -7,8 +7,8 @@
 // affect any result -- and the caller assembles results in DC order, so the
 // rendered JSON is byte-identical for any thread count.
 
-#ifndef HARVEST_SRC_DRIVER_EXECUTOR_H_
-#define HARVEST_SRC_DRIVER_EXECUTOR_H_
+#ifndef HARVEST_SRC_UTIL_EXECUTOR_H_
+#define HARVEST_SRC_UTIL_EXECUTOR_H_
 
 #include <functional>
 
@@ -25,4 +25,4 @@ void ParallelForIndex(int threads, int count, const std::function<void(int)>& fn
 
 }  // namespace harvest
 
-#endif  // HARVEST_SRC_DRIVER_EXECUTOR_H_
+#endif  // HARVEST_SRC_UTIL_EXECUTOR_H_

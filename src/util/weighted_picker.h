@@ -41,8 +41,12 @@ class WeightedPicker {
   int64_t Total() const { return total_; }
 
   // Re-initializes to `weights` in O(n) (in-place prefix doubling).
-  void Build(const std::vector<int64_t>& weights) {
-    size_ = weights.size();
+  void Build(const std::vector<int64_t>& weights) { Build(weights.data(), weights.size()); }
+
+  // Same, from a raw column slice (the sharded rebuild path hands each
+  // shard its window of one dense weight column).
+  void Build(const int64_t* weights, size_t count) {
+    size_ = count;
     tree_.assign(size_ + 1, 0);
     total_ = 0;
     for (size_t i = 0; i < size_; ++i) {

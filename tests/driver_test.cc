@@ -4,6 +4,8 @@
 #include <stdlib.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <string>
 
@@ -520,6 +522,15 @@ TEST(TraceReplayTest, ReplayReproducesTheSyntheticRunByteIdentically) {
   EXPECT_EQ(synthetic.result.trace_source, "synthetic");
   EXPECT_TRUE(std::filesystem::exists(dir + "/DC-9.trace"));
   EXPECT_TRUE(std::filesystem::exists(dir + "/MANIFEST.txt"));
+  {
+    // The manifest is self-describing: it names the size and shape mix of
+    // every recorded fleet, so readers need not parse the binary traces.
+    std::ifstream manifest(dir + "/MANIFEST.txt");
+    const std::string text((std::istreambuf_iterator<char>(manifest)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("fleet: DC-9 servers="), std::string::npos) << text;
+    EXPECT_NE(text.find(" shapes=12c32768m:"), std::string::npos) << text;
+  }
 
   ScenarioConfig replay_config = config;
   replay_config.trace_dir = dir;

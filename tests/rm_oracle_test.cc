@@ -109,10 +109,13 @@ void ExpectClassAggregatesMatchNaive(const ResourceManager& rm, double t) {
   }
 }
 
-void RunOracle(SchedulerMode mode, uint64_t seed) {
+void RunOracle(SchedulerMode mode, uint64_t seed, int shards) {
   Rng build_rng(seed);
   Cluster cluster = BuildTestbedCluster(48, kSlotsPerDay, build_rng);
-  ResourceManager rm(&cluster, mode, kDefaultReserve);
+  // Shard count is execution layout: every placement, aggregate, and RNG
+  // draw below must be identical to the dense single-shard reference no
+  // matter how the accounting is partitioned.
+  ResourceManager rm(&cluster, mode, kDefaultReserve, shards);
   if (mode == SchedulerMode::kHistory) {
     // Deterministic 4-class striping: enough classes to exercise labeled
     // segments without depending on the clustering service.
@@ -198,7 +201,7 @@ void RunOracle(SchedulerMode mode, uint64_t seed) {
 TEST(RmOracleTest, SlidingWindowForecastMatchesNaiveScanAcrossJumpsAndWindows) {
   Rng build_rng(7);
   Cluster cluster = BuildTestbedCluster(24, kSlotsPerDay, build_rng);
-  ResourceManager rm(&cluster, SchedulerMode::kHistory, kDefaultReserve);
+  ResourceManager rm(&cluster, SchedulerMode::kHistory, kDefaultReserve, /*shards=*/3);
   Rng rng(99);
   const double steps[] = {30.0,    120.0,   360.0,  5000.0, 45000.0,
                           130000.0, 50.0,   240.0,  11.0,   86400.0};
@@ -219,16 +222,25 @@ TEST(RmOracleTest, SlidingWindowForecastMatchesNaiveScanAcrossJumpsAndWindows) {
   }
 }
 
+// Each mode runs the full oracle at shard counts 1, 3 and 8 (ISSUE 6): the
+// dense reference never shards, so any byte of divergence in placements,
+// aggregates, or RNG stream position pins a sharding bug.
 TEST(RmOracleTest, IncrementalAccountingMatchesFullRescanPtMode) {
-  RunOracle(SchedulerMode::kPrimaryAware, 101);
+  for (int shards : {1, 3, 8}) {
+    RunOracle(SchedulerMode::kPrimaryAware, 101, shards);
+  }
 }
 
 TEST(RmOracleTest, IncrementalAccountingMatchesFullRescanHistoryMode) {
-  RunOracle(SchedulerMode::kHistory, 202);
+  for (int shards : {1, 3, 8}) {
+    RunOracle(SchedulerMode::kHistory, 202, shards);
+  }
 }
 
 TEST(RmOracleTest, StockModeStaysConsistentToo) {
-  RunOracle(SchedulerMode::kStock, 303);
+  for (int shards : {1, 3, 8}) {
+    RunOracle(SchedulerMode::kStock, 303, shards);
+  }
 }
 
 }  // namespace

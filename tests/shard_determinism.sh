@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Enforces the sharding determinism contract: rm_shards / nn_shards are
+# execution-layout knobs exactly like --threads, so the fleet_sweep JSON must
+# be byte-identical across shard counts {1, 4, auto} crossed with
+# --threads {1, 8} at a fixed (seed, scale). The shard knobs are excluded
+# from the rendered "overrides" provenance (they live in the stripped
+# "timing" block), which is what makes the byte-compare meaningful.
+# Registered with CTest as harvest_sim_shard_determinism.
+set -euo pipefail
+
+BIN=${1:?usage: shard_determinism.sh /path/to/harvest_sim [scale] [seed]}
+SCALE=${2:-0.05}
+SEED=${3:-42}
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+STRIP=$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)/tools/strip_timing.sh
+strip_timing() {
+  bash "$STRIP" < "$1"
+}
+
+# Reference: one shard everywhere, serial.
+"$BIN" --scenario=fleet_sweep --seed="$SEED" --scale="$SCALE" --threads=1 \
+  --set rm_shards=1 --set nn_shards=1 --out="$tmp/ref.raw.json" 2>/dev/null
+strip_timing "$tmp/ref.raw.json" > "$tmp/ref.json"
+
+status=0
+for threads in 1 8; do
+  for shards in 1 4 0; do  # 0 = auto from fleet size
+    if [ "$threads" -eq 1 ] && [ "$shards" -eq 1 ]; then
+      continue  # that is the reference itself
+    fi
+    "$BIN" --scenario=fleet_sweep --seed="$SEED" --scale="$SCALE" \
+      --threads="$threads" --set rm_shards="$shards" --set nn_shards="$shards" \
+      --out="$tmp/run.raw.json" 2>/dev/null
+    strip_timing "$tmp/run.raw.json" > "$tmp/run.json"
+    if cmp -s "$tmp/ref.json" "$tmp/run.json"; then
+      echo "OK: fleet_sweep threads=$threads shards=$shards matches the 1x1 reference"
+    else
+      echo "FAIL: fleet_sweep output differs at threads=$threads shards=$shards" >&2
+      status=1
+    fi
+  done
+done
+exit $status

@@ -42,10 +42,32 @@ Cluster BuildOracleCluster(double scale, uint64_t seed) {
   return BuildCluster(DatacenterByName("DC-9"), options, build_rng);
 }
 
-void RunAccountingOracle(PlacementKind kind, uint64_t seed) {
+// Everything RNG-dependent one oracle run produced: final stats plus the
+// exact replica list of every block. Two runs with equal outcomes consumed
+// their policy stream identically (every placement draw is visible in the
+// replica lists).
+struct OracleOutcome {
+  StorageStats stats;
+  int64_t under_replicated = 0;
+  std::vector<std::vector<ServerId>> replicas;
+
+  bool operator==(const OracleOutcome& other) const {
+    return stats.blocks_created == other.stats.blocks_created &&
+           stats.blocks_lost == other.stats.blocks_lost &&
+           stats.replicas_destroyed == other.stats.replicas_destroyed &&
+           stats.rereplications_completed == other.stats.rereplications_completed &&
+           stats.accesses == other.stats.accesses &&
+           stats.failed_accesses == other.stats.failed_accesses &&
+           stats.interfering_accesses == other.stats.interfering_accesses &&
+           under_replicated == other.under_replicated && replicas == other.replicas;
+  }
+};
+
+OracleOutcome RunAccountingOracle(PlacementKind kind, uint64_t seed, int shards) {
   Cluster cluster = BuildOracleCluster(0.3, seed);
   NameNodeOptions options;
   options.replication = 3;
+  options.shards = shards;
   Rng policy_rng(seed ^ 0x5eedULL);
   NameNode nn(&cluster, MakePlacementPolicy(kind, &cluster), options, &policy_rng);
 
@@ -89,8 +111,11 @@ void RunAccountingOracle(PlacementKind kind, uint64_t seed) {
     }
 
     std::string error;
-    ASSERT_TRUE(nn.AuditStateForTest(&error))
-        << PlacementKindName(kind) << " op " << op << ": " << error;
+    const bool audit_ok = nn.AuditStateForTest(&error);
+    EXPECT_TRUE(audit_ok) << PlacementKindName(kind) << " op " << op << ": " << error;
+    if (!audit_ok) {
+      return OracleOutcome{};  // stop at the first desync (ASSERT needs void)
+    }
   }
   // The mix actually exercised the hot paths.
   EXPECT_GT(creates, kOperationsPerKind / 5);
@@ -98,26 +123,48 @@ void RunAccountingOracle(PlacementKind kind, uint64_t seed) {
   EXPECT_GT(nn.stats().replicas_destroyed, 0);
   EXPECT_GT(nn.stats().rereplications_completed, 0);
   EXPECT_GE(kOperationsPerKind, 1000);
+
+  OracleOutcome outcome;
+  outcome.stats = nn.stats();
+  outcome.under_replicated = nn.UnderReplicatedBlocks();
+  outcome.replicas.reserve(static_cast<size_t>(nn.num_blocks()));
+  for (BlockId b = 0; b < nn.num_blocks(); ++b) {
+    outcome.replicas.push_back(nn.ReplicaServers(b));
+  }
+  return outcome;
+}
+
+// Runs the randomized sequence at shard counts {1, 3, 8} and requires the
+// sharded runs to match the dense single-shard reference exactly --
+// placements, aggregates, and (via the replica lists) the consumed RNG
+// stream. Shard count is execution layout; it must never change a result.
+void RunShardedAccountingOracle(PlacementKind kind, uint64_t seed) {
+  const OracleOutcome reference = RunAccountingOracle(kind, seed, /*shards=*/1);
+  for (int shards : {3, 8}) {
+    const OracleOutcome sharded = RunAccountingOracle(kind, seed, shards);
+    EXPECT_TRUE(sharded == reference)
+        << PlacementKindName(kind) << " diverged at " << shards << " shards";
+  }
 }
 
 TEST(StorageOracleTest, IncrementalAccountingMatchesDenseRescanStock) {
-  RunAccountingOracle(PlacementKind::kStock, 101);
+  RunShardedAccountingOracle(PlacementKind::kStock, 101);
 }
 
 TEST(StorageOracleTest, IncrementalAccountingMatchesDenseRescanHistory) {
-  RunAccountingOracle(PlacementKind::kHistory, 202);
+  RunShardedAccountingOracle(PlacementKind::kHistory, 202);
 }
 
 TEST(StorageOracleTest, IncrementalAccountingMatchesDenseRescanRandom) {
-  RunAccountingOracle(PlacementKind::kRandom, 303);
+  RunShardedAccountingOracle(PlacementKind::kRandom, 303);
 }
 
 TEST(StorageOracleTest, IncrementalAccountingMatchesDenseRescanGreedy) {
-  RunAccountingOracle(PlacementKind::kGreedy, 404);
+  RunShardedAccountingOracle(PlacementKind::kGreedy, 404);
 }
 
 TEST(StorageOracleTest, IncrementalAccountingMatchesDenseRescanSoft) {
-  RunAccountingOracle(PlacementKind::kSoft, 505);
+  RunShardedAccountingOracle(PlacementKind::kSoft, 505);
 }
 
 // Dense reference for the event-driven replay: the same shared timeline,
@@ -212,13 +259,19 @@ TEST(StorageCosimTest, EventDrivenReplayMatchesDenseReferenceForEveryKind) {
     options.num_blocks = 3000;
     options.writer_seed = 11;
     options.policy_seed = DerivedStreamSeed(11, PlacementKindName(kind));
-    StorageCosimResult event_driven = RunStorageCosim(cluster, timeline, options);
+    // The dense reference always runs single-shard; the event-driven replay
+    // must match it at every shard count.
+    options.nn_shards = 1;
     StorageCosimResult dense = DenseReferenceReplay(cluster, timeline, options);
-    ExpectResultsEqual(event_driven, dense, PlacementKindName(kind));
-    // The timeline did real damage and the namespace was populated.
-    EXPECT_EQ(event_driven.stats.blocks_created, 3000);
-    EXPECT_GT(event_driven.stats.replicas_destroyed, 0) << PlacementKindName(kind);
-    EXPECT_GT(event_driven.stats.accesses, 0) << PlacementKindName(kind);
+    for (int shards : {1, 3, 8}) {
+      options.nn_shards = shards;
+      StorageCosimResult event_driven = RunStorageCosim(cluster, timeline, options);
+      ExpectResultsEqual(event_driven, dense, PlacementKindName(kind));
+      // The timeline did real damage and the namespace was populated.
+      EXPECT_EQ(event_driven.stats.blocks_created, 3000);
+      EXPECT_GT(event_driven.stats.replicas_destroyed, 0) << PlacementKindName(kind);
+      EXPECT_GT(event_driven.stats.accesses, 0) << PlacementKindName(kind);
+    }
   }
 }
 

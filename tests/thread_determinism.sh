@@ -81,4 +81,27 @@ for threads in 2 8; do
     status=1
   fi
 done
+
+# The RM's per-slot refresh fans shard tasks out across worker threads, so
+# the thread and shard axes interact in the implementation; crossing them
+# must still not change a byte (tests/shard_determinism.sh covers the shard
+# axis in depth; this pins the interaction).
+"$BIN" --scenario=fleet_sweep --seed="$SEED" --scale="$SCALE" --threads=1 \
+  --set rm_shards=1 --out="$tmp/cross.raw.json" 2>/dev/null
+strip_timing "$tmp/cross.raw.json" > "$tmp/cross.json"
+for threads in 1 2 8; do
+  for rm_shards in 1 4; do
+    [ "$threads" -eq 1 ] && [ "$rm_shards" -eq 1 ] && continue
+    "$BIN" --scenario=fleet_sweep --seed="$SEED" --scale="$SCALE" \
+      --threads="$threads" --set rm_shards="$rm_shards" \
+      --out="$tmp/cross_run.raw.json" 2>/dev/null
+    strip_timing "$tmp/cross_run.raw.json" > "$tmp/cross_run.json"
+    if cmp -s "$tmp/cross.json" "$tmp/cross_run.json"; then
+      echo "OK: fleet_sweep threads=$threads rm_shards=$rm_shards matches the 1x1 reference"
+    else
+      echo "FAIL: fleet_sweep differs at threads=$threads rm_shards=$rm_shards" >&2
+      status=1
+    fi
+  done
+done
 exit $status

@@ -8,6 +8,15 @@
 #
 #   tools/perf_sched.sh [--bin PATH] [--scenario NAME] [--scale F] [--seed N]
 #                       [--threads N] [--reps K] [--out PATH] [--replay]
+#                       [--shards N] [--xl]
+#
+# --shards N pins rm_shards/nn_shards (default: the scenario's auto
+# resolution); shard count is execution layout and cannot change results,
+# so this only moves the wall clock. --xl appends one timed rep of the
+# ~100k-server configuration (fleet_sweep --set fleet_scale=25 --set
+# per_server_traces=false, 8 threads, auto shards; ~72-90k servers per DC
+# x 10 DCs sharing per-tenant traces) and records its wall time and peak
+# RSS under "xl_fleet".
 #
 # --replay measures the trace-replay path instead of the synthetic
 # generators: the scenario is first exported once with --dump-traces (not
@@ -40,6 +49,9 @@ OUT=BENCH_sched.json
 BASELINE_PR2_SECONDS=25.50
 
 REPLAY=0
+SHARDS=""
+XL=0
+XL_THREADS=8
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -51,6 +63,8 @@ while [ $# -gt 0 ]; do
     --reps) REPS=$2; shift 2 ;;
     --out) OUT=$2; shift 2 ;;
     --replay) REPLAY=1; shift ;;
+    --shards) SHARDS=$2; shift 2 ;;
+    --xl) XL=1; shift ;;
     *) echo "perf_sched.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -59,6 +73,9 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 extra_args=()
+if [ -n "$SHARDS" ]; then
+  extra_args+=(--set "rm_shards=$SHARDS" --set "nn_shards=$SHARDS")
+fi
 if [ "$REPLAY" -eq 1 ]; then
   # One untimed export; the timed reps below then exercise the replay path.
   "$BIN" --scenario="$SCENARIO" --seed="$SEED" --scale="$SCALE" \
@@ -77,9 +94,22 @@ for rep in $(seq 1 "$REPS"); do
   echo "perf_sched: rep $rep/$REPS: ${wall}s" >&2
 done
 
+XL_WALL=""
+if [ "$XL" -eq 1 ]; then
+  start=$(date +%s%N)
+  "$BIN" --scenario=fleet_sweep --seed="$SEED" --scale=1.0 --threads="$XL_THREADS" \
+    --set fleet_scale=25 --set per_server_traces=false \
+    --out="$tmp/xl.json" 2>/dev/null
+  end=$(date +%s%N)
+  XL_WALL=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
+  echo "perf_sched: xl fleet rep: ${XL_WALL}s" >&2
+fi
+
 RUN_JSON="$tmp/run.json" SCENARIO="$SCENARIO" SCALE="$SCALE" SEED="$SEED" \
 THREADS="$THREADS" REPS="$REPS" OUT="$OUT" BIN="$BIN" REPLAY="$REPLAY" \
 BASELINE_PR2_SECONDS="$BASELINE_PR2_SECONDS" WALLS="${walls[*]}" \
+SHARDS="$SHARDS" XL_WALL="$XL_WALL" XL_JSON="$tmp/xl.json" \
+XL_THREADS="$XL_THREADS" \
 python3 - <<'EOF'
 import json
 import os
@@ -117,9 +147,28 @@ bench = {
     "reference_configuration": is_reference,
     "baseline_pr2_wall_seconds": baseline if is_reference else None,
     "speedup_vs_pr2": round(baseline / best, 2) if is_reference else None,
+    # rm_shards/nn_shards pinned by --shards ("" = the scenario's auto).
+    "shards": os.environ["SHARDS"] or "auto",
     # The driver's own per-stage wall-clock telemetry for the last rep.
     "driver_timing": run.get("timing"),
 }
+if os.environ["XL_WALL"]:
+    # The ~100k-server configuration (ISSUE 6): fleet_scale=25 fleet_sweep,
+    # shared per-tenant traces, 8 threads, auto shard resolution.
+    with open(os.environ["XL_JSON"]) as handle:
+        xl = json.load(handle)
+    servers = sum(dc["fleet"]["servers"] for dc in xl["datacenters"])
+    bench["xl_fleet"] = {
+        "command": "%s --scenario=fleet_sweep --seed=%d --scale=1 --threads=%s "
+        "--set fleet_scale=25 --set per_server_traces=false"
+        % (os.environ["BIN"], seed, os.environ["XL_THREADS"]),
+        "servers": servers,
+        "wall_seconds": float(os.environ["XL_WALL"]),
+        "peak_rss_bytes": xl["timing"].get("peak_rss_bytes"),
+        "rm_shards": xl["timing"].get("rm_shards"),
+        "nn_shards": xl["timing"].get("nn_shards"),
+        "driver_timing_total_seconds": xl["timing"]["total_seconds"],
+    }
 with open(os.environ["OUT"], "w") as handle:
     json.dump(bench, handle, indent=2)
     handle.write("\n")

@@ -7,6 +7,13 @@
 #
 #   tools/perf_storage.sh [--bin PATH] [--scenario NAME] [--scale F]
 #                         [--seed N] [--threads N] [--reps K] [--out PATH]
+#                         [--shards N] [--xl]
+#
+# --shards N pins rm_shards/nn_shards (execution layout: moves the wall
+# clock, never a result byte). --xl appends one timed rep of the
+# ~100k-server configuration (fleet_sweep --set fleet_scale=25 --set
+# per_server_traces=false, 8 threads, auto shards) and records its wall
+# time and peak RSS under "xl_fleet".
 #
 # Defaults reproduce the ISSUE-4 acceptance measurement: fleet_sweep at
 # default scale, one worker thread, seed 42, best of 2 reps. When (and only
@@ -32,6 +39,9 @@ OUT=BENCH_storage.json
 # fleet_sweep fleet at default scale (5 kinds x r3 x 10 DCs, 15000 blocks),
 # measured on the reference builder image before the event-driven rewrite.
 BASELINE_PRE_REFACTOR_SECONDS=5.67
+SHARDS=""
+XL=0
+XL_THREADS=8
 
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -42,6 +52,8 @@ while [ $# -gt 0 ]; do
     --threads) THREADS=$2; shift 2 ;;
     --reps) REPS=$2; shift 2 ;;
     --out) OUT=$2; shift 2 ;;
+    --shards) SHARDS=$2; shift 2 ;;
+    --xl) XL=1; shift ;;
     *) echo "perf_storage.sh: unknown argument '$1'" >&2; exit 2 ;;
   esac
 done
@@ -49,12 +61,17 @@ done
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
+extra_args=()
+if [ -n "$SHARDS" ]; then
+  extra_args+=(--set "rm_shards=$SHARDS" --set "nn_shards=$SHARDS")
+fi
+
 walls=()
 grids=()
 for rep in $(seq 1 "$REPS"); do
   start=$(date +%s%N)
   "$BIN" --scenario="$SCENARIO" --seed="$SEED" --scale="$SCALE" \
-    --threads="$THREADS" --out="$tmp/run.json" 2>/dev/null
+    --threads="$THREADS" "${extra_args[@]}" --out="$tmp/run.json" 2>/dev/null
   end=$(date +%s%N)
   wall=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
   walls+=("$wall")
@@ -69,10 +86,23 @@ print('%.3f' % sum(dc.get('durability_seconds', 0.0) + dc.get('availability_seco
   echo "perf_storage: rep $rep/$REPS: grid ${grid}s (run ${wall}s)" >&2
 done
 
+XL_WALL=""
+if [ "$XL" -eq 1 ]; then
+  start=$(date +%s%N)
+  "$BIN" --scenario=fleet_sweep --seed="$SEED" --scale=1.0 --threads="$XL_THREADS" \
+    --set fleet_scale=25 --set per_server_traces=false \
+    --out="$tmp/xl.json" 2>/dev/null
+  end=$(date +%s%N)
+  XL_WALL=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
+  echo "perf_storage: xl fleet rep: ${XL_WALL}s" >&2
+fi
+
 RUN_JSON="$tmp/run.json" SCENARIO="$SCENARIO" SCALE="$SCALE" SEED="$SEED" \
 THREADS="$THREADS" REPS="$REPS" OUT="$OUT" BIN="$BIN" \
 BASELINE_PRE_REFACTOR_SECONDS="$BASELINE_PRE_REFACTOR_SECONDS" \
 WALLS="${walls[*]}" GRIDS="${grids[*]}" \
+SHARDS="$SHARDS" XL_WALL="$XL_WALL" XL_JSON="$tmp/xl.json" \
+XL_THREADS="$XL_THREADS" \
 python3 - <<'EOF'
 import json
 import os
@@ -107,9 +137,33 @@ bench = {
     "reference_configuration": is_reference,
     "baseline_pre_refactor_grid_seconds": baseline if is_reference else None,
     "speedup_vs_pre_refactor": round(baseline / best_grid, 2) if is_reference else None,
+    # rm_shards/nn_shards pinned by --shards ("" = the scenario's auto).
+    "shards": os.environ["SHARDS"] or "auto",
     # The driver's own per-stage wall-clock telemetry for the last rep.
     "driver_timing": run.get("timing"),
 }
+if os.environ["XL_WALL"]:
+    # The ~100k-server configuration (ISSUE 6): fleet_scale=25 fleet_sweep,
+    # shared per-tenant traces, 8 threads, auto shard resolution. Grid time
+    # is the summed durability + availability stage telemetry.
+    with open(os.environ["XL_JSON"]) as handle:
+        xl = json.load(handle)
+    servers = sum(dc["fleet"]["servers"] for dc in xl["datacenters"])
+    xl_grid = sum(
+        dc.get("durability_seconds", 0.0) + dc.get("availability_seconds", 0.0)
+        for dc in xl["timing"]["datacenters"])
+    bench["xl_fleet"] = {
+        "command": "%s --scenario=fleet_sweep --seed=%d --scale=1 --threads=%s "
+        "--set fleet_scale=25 --set per_server_traces=false"
+        % (os.environ["BIN"], seed, os.environ["XL_THREADS"]),
+        "servers": servers,
+        "wall_seconds": float(os.environ["XL_WALL"]),
+        "grid_seconds": round(xl_grid, 3),
+        "peak_rss_bytes": xl["timing"].get("peak_rss_bytes"),
+        "rm_shards": xl["timing"].get("rm_shards"),
+        "nn_shards": xl["timing"].get("nn_shards"),
+        "driver_timing_total_seconds": xl["timing"]["total_seconds"],
+    }
 with open(os.environ["OUT"], "w") as handle:
     json.dump(bench, handle, indent=2)
     handle.write("\n")
