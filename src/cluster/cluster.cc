@@ -25,7 +25,15 @@ ServerId Cluster::AddServer(Server server) {
       << "server must belong to an existing tenant";
   tenants_[static_cast<size_t>(server.tenant)].servers.push_back(server.id);
   servers_.push_back(std::move(server));
+  reimage_spans_.emplace_back();  // empty schedule until SetReimageTimes
   return servers_.back().id;
+}
+
+void Cluster::SetReimageTimes(ServerId id, const double* times, size_t count) {
+  ReimageSpan& span = reimage_spans_[static_cast<size_t>(id)];
+  span.offset = reimage_pool_.size();
+  span.count = count;
+  reimage_pool_.insert(reimage_pool_.end(), times, times + count);
 }
 
 double Cluster::AverageUtilizationAt(double seconds) const {

@@ -6,7 +6,9 @@
 #ifndef HARVEST_SRC_CLUSTER_CLUSTER_H_
 #define HARVEST_SRC_CLUSTER_CLUSTER_H_
 
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,9 +34,9 @@ struct Server {
   // CPU utilization of the primary tenant on this server, fraction of
   // capacity.cores. Never null after cluster construction.
   std::shared_ptr<const UtilizationTrace> utilization;
-  // Times (seconds from horizon start) at which this server's disk is
-  // reimaged, destroying all harvested replicas stored on it.
-  std::vector<double> reimage_times;
+  // The reimage schedule (times at which this server's disk is reimaged,
+  // destroying all harvested replicas stored on it) lives in the Cluster's
+  // shared pool: Cluster::ReimageTimes(id) / Cluster::SetReimageTimes.
   // Storage the primary tenant allows HDFS-H to harvest, in blocks.
   int64_t harvestable_blocks = 0;
 
@@ -79,6 +81,28 @@ class Cluster {
   size_t num_servers() const { return servers_.size(); }
   size_t num_tenants() const { return tenants_.size(); }
 
+  // --- Reimage schedules (pooled) ----------------------------------------
+  // Per-server schedules are short (a handful of events per server-month)
+  // and number in the hundreds of thousands at fleet_scale=25, so holding
+  // one heap vector per server triples the memory and allocation count for
+  // no benefit. All times live in one pool, with a (offset, count) span per
+  // server -- offsets, not pointers, so a copied or moved Cluster
+  // (cluster_scaling, trace replay) stays self-contained.
+
+  // The server's reimage times, ascending, in the order they were set.
+  std::span<const double> ReimageTimes(ServerId id) const {
+    const ReimageSpan& span = reimage_spans_[static_cast<size_t>(id)];
+    return {reimage_pool_.data() + span.offset, span.count};
+  }
+  // Installs `count` times for one server, appending to the pool. Builders
+  // call this at most once per server (re-setting leaks pool slots until
+  // the Cluster is dropped; no builder re-sets).
+  void SetReimageTimes(ServerId id, const double* times, size_t count);
+  // Total events across the fleet (the driver's provenance stat).
+  int64_t TotalReimageEvents() const {
+    return static_cast<int64_t>(reimage_pool_.size());
+  }
+
   // Fleet-wide average primary CPU utilization at `seconds`, in [0, 1].
   double AverageUtilizationAt(double seconds) const;
   // Fleet-wide average over the whole trace horizon.
@@ -87,8 +111,15 @@ class Cluster {
   int64_t TotalHarvestableBlocks() const;
 
  private:
+  struct ReimageSpan {
+    size_t offset = 0;
+    size_t count = 0;
+  };
+
   std::vector<Server> servers_;
   std::vector<PrimaryTenant> tenants_;
+  std::vector<double> reimage_pool_;
+  std::vector<ReimageSpan> reimage_spans_;  // parallel to servers_
 };
 
 }  // namespace harvest

@@ -30,7 +30,7 @@ void PrintUsage(std::FILE* stream) {
   std::fprintf(stream,
                "usage: harvest_sim --scenario=NAME [--seed=N] [--scale=F] [--threads=N]\n"
                "                   [--set KEY=VALUE]... [--dump-traces=DIR] [--out=PATH]\n"
-               "       harvest_sim --list | --list-names | --knobs\n"
+               "       harvest_sim --list-scenarios | --list-names | --list-knobs\n"
                "\n"
                "  --scenario=NAME  registered scenario preset (see --list)\n"
                "  --seed=N         RNG seed; same seed => identical JSON (default 42)\n"
@@ -42,9 +42,11 @@ void PrintUsage(std::FILE* stream) {
                "  --dump-traces=DIR  export every datacenter's materialized fleet to\n"
                "                   DIR/<DC>.trace for exact replay via --set trace_dir=DIR\n"
                "  --out=PATH       JSON output path, '-' for stdout (default results.json)\n"
-               "  --list           list registered scenarios and exit\n"
+               "  --list-scenarios list registered scenarios with descriptions and exit\n"
+               "                   (--list is the legacy spelling)\n"
                "  --list-names     list scenario names only, one per line (for scripts)\n"
-               "  --knobs          list the knobs --set accepts and exit\n");
+               "  --list-knobs     list the knobs --set accepts and exit\n"
+               "                   (--knobs is the legacy spelling)\n");
 }
 
 void PrintScenarios() {
@@ -101,7 +103,8 @@ int main(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     std::string value;
-    if (std::strcmp(argv[i], "--list") == 0) {
+    if (std::strcmp(argv[i], "--list") == 0 ||
+        std::strcmp(argv[i], "--list-scenarios") == 0) {
       PrintScenarios();
       return 0;
     }
@@ -109,7 +112,8 @@ int main(int argc, char** argv) {
       PrintScenarioNames();
       return 0;
     }
-    if (std::strcmp(argv[i], "--knobs") == 0) {
+    if (std::strcmp(argv[i], "--knobs") == 0 ||
+        std::strcmp(argv[i], "--list-knobs") == 0) {
       PrintKnobs();
       return 0;
     }

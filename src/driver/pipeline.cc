@@ -104,6 +104,11 @@ DatacenterResult RunDatacenterStages(const DcContext& ctx) {
     dc.scheduling = Timed(dc.timing.scheduling_seconds,
                           [&] { return RunSchedulingStage(ctx, fleet.cluster); });
     dc.timing.arena_high_water_bytes = dc.scheduling.arena_high_water_bytes;
+    if (ctx.config->power_accounting) {
+      dc.has_power = true;
+      dc.power = Timed(dc.timing.power_seconds,
+                       [&] { return RunPowerStage(ctx, dc.scheduling); });
+    }
   }
   dc.placement = Timed(dc.timing.placement_seconds,
                        [&] { return RunPlacementAuditStage(ctx, fleet.cluster); });

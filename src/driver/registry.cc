@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/cluster/datacenter.h"
+#include "src/power/price_curve.h"
 #include "src/trace/trace_source.h"
 #include "src/util/edit_distance.h"
 #include "src/util/logging.h"
@@ -366,6 +367,46 @@ std::vector<ScenarioKnob> MakeKnobs() {
   add("scheduling_target_utilization", "double in [0, 1]",
       "root-scale the fleet to this average before scheduling (0 = as generated)",
       FractionKnob(&ScenarioConfig::scheduling_target_utilization));
+  add("power_accounting", "bool",
+      "energy / cost accounting riding the scheduling co-simulation (adds the "
+      "\"energy\" block)",
+      BoolKnob(&ScenarioConfig::power_accounting));
+  add("energy_price", "flat:P | diurnal:BASE,AMP,PEAK_HOUR",
+      "electricity price curve in $/kWh, e.g. diurnal:0.08,0.05,18",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        PriceCurve curve;
+        std::string detail;
+        if (!PriceCurve::Parse(value, &curve, &detail)) {
+          return Fail(error, detail);
+        }
+        config.energy_price = std::string(value);
+        return true;
+      });
+  add("price_phase_hours", "double >= 0",
+      "shift DC i's price peak later by i * this many hours (time-zone spread)",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        return ParseNonNegativeDouble(value, &config.price_phase_hours, error);
+      });
+  add("rightsizing", "bool", "park / unpark primary-idle servers (H runs only)",
+      BoolKnob(&ScenarioConfig::rightsizing));
+  add("park_threshold", "double in [0, 1]",
+      "park when live and day-ago primary utilization are both at or below this",
+      FractionKnob(&ScenarioConfig::park_threshold));
+  add("defer_waves", "bool",
+      "defer eligible medium/long H jobs into the day-ago forecast valley",
+      BoolKnob(&ScenarioConfig::defer_waves));
+  add("defer_window_hours", "double > 0", "how far ahead deferral may shift a job",
+      PositiveDoubleKnob(&ScenarioConfig::defer_window_hours));
+  add("defer_min_gain", "double >= 0",
+      "minimum forecast-utilization drop a deferral must gain",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        return ParseNonNegativeDouble(value, &config.defer_min_gain, error);
+      });
+  add("power_cap_watts", "double >= 0",
+      "fleet power cap: count violations and force deferral above it (0 = none)",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        return ParseNonNegativeDouble(value, &config.power_cap_watts, error);
+      });
   add("placement_sample_blocks", "int > 0", "blocks sampled by the placement audit",
       PositiveIntKnob(&ScenarioConfig::placement_sample_blocks));
   add("run_durability", "bool", "run the storage durability grid",

@@ -82,6 +82,41 @@ void WriteScheduling(JsonWriter& json, const SchedulingStageResult& scheduling) 
   json.EndObject();
 }
 
+void WritePowerRun(JsonWriter& json, const char* key, const PowerRunResult& run,
+                   bool has_cap) {
+  json.Key(key).BeginObject();
+  json.Field("fleet_joules", run.fleet_joules);
+  json.Field("container_joules", run.container_joules);
+  json.Field("total_joules", run.total_joules);
+  json.Field("cost_dollars", run.cost_dollars);
+  json.Field("cost_per_container", run.cost_per_container);
+  json.Field("peak_power_watts", run.peak_power_watts);
+  if (has_cap) {
+    json.Field("slots_over_cap", run.slots_over_cap);
+  }
+  json.Field("parked_server_seconds", run.parked_server_seconds);
+  json.Field("park_events", run.park_events);
+  json.Field("unpark_events", run.unpark_events);
+  json.Field("forced_unparks", run.forced_unparks);
+  json.Field("deferred_jobs", run.deferred_jobs);
+  json.Field("deferred_seconds", run.deferred_seconds);
+  json.EndObject();
+}
+
+void WriteEnergy(JsonWriter& json, const PowerStageResult& power) {
+  const bool has_cap = power.power_cap_watts > 0.0;
+  json.Key("energy").BeginObject();
+  json.Field("price_curve", power.price_curve);
+  if (has_cap) {
+    json.Field("power_cap_watts", power.power_cap_watts);
+  }
+  WritePowerRun(json, "primary_aware", power.primary_aware, has_cap);
+  WritePowerRun(json, "history", power.history, has_cap);
+  json.Field("history_energy_savings_percent", power.history_energy_savings_percent);
+  json.Field("history_cost_savings_percent", power.history_cost_savings_percent);
+  json.EndObject();
+}
+
 void WritePlacement(JsonWriter& json, const PlacementAuditStageResult& placement) {
   json.Key("placement").BeginObject();
   json.Field("replication", placement.replication);
@@ -181,6 +216,9 @@ void WriteTiming(JsonWriter& json, const ScenarioResult& result) {
     if (dc.has_scheduling) {
       json.Field("scheduling_seconds", dc.timing.scheduling_seconds);
     }
+    if (dc.has_power) {
+      json.Field("power_seconds", dc.timing.power_seconds);
+    }
     json.Field("placement_seconds", dc.timing.placement_seconds);
     if (dc.has_durability) {
       json.Field("durability_seconds", dc.timing.durability_seconds);
@@ -204,6 +242,9 @@ void WriteDatacenterResult(JsonWriter& json, const DatacenterResult& dc) {
   WriteClustering(json, dc.clustering);
   if (dc.has_scheduling) {
     WriteScheduling(json, dc.scheduling);
+  }
+  if (dc.has_power) {
+    WriteEnergy(json, dc.power);
   }
   WritePlacement(json, dc.placement);
   if (dc.has_durability) {

@@ -73,6 +73,32 @@ struct ScenarioConfig {
   // only differentiates itself once primaries are busy enough to matter.
   double scheduling_target_utilization = 0.0;
 
+  // --- Power / cost subsystem (src/power via src/experiments) ---
+  // Energy and dollar accounting riding the scheduling co-simulation's tick
+  // cadence; adds the per-DC "energy" JSON block. No effect without
+  // run_scheduling.
+  bool power_accounting = false;
+  // Electricity price knob text: "flat:<$/kWh>" or
+  // "diurnal:<base>,<amplitude>,<peak_hour>" ("" = flat:0.10). See
+  // src/power/price_curve.h.
+  std::string energy_price;
+  // Shifts DC i's price peak later by i * price_phase_hours (fleets spread
+  // across time zones / regional markets).
+  double price_phase_hours = 0.0;
+  // Dynamic right-sizing (H runs only): park primary-idle servers -- parked
+  // servers draw parked watts and are invisible to placement -- and unpark
+  // them when live or forecast primary demand returns.
+  bool rightsizing = false;
+  double park_threshold = 0.05;
+  // Batch-wave deferral (H runs only): shift eligible medium / long jobs
+  // into the upcoming valley of the fleet's day-ago utilization forecast
+  // when the valley gains at least defer_min_gain -- or unconditionally
+  // while sampled power exceeds power_cap_watts (0 = no cap).
+  bool defer_waves = false;
+  double defer_window_hours = 6.0;
+  double defer_min_gain = 0.02;
+  double power_cap_watts = 0.0;
+
   // --- Algorithm-2 placement audit (src/storage) ---
   int placement_sample_blocks = 500;
 

@@ -25,6 +25,11 @@ SchedulingRunResult FlattenRun(const SchedulingSimResult& result) {
   if (run.has_storage) {
     run.failed_access_fraction = result.storage.FailedAccessFraction();
   }
+  for (int64_t count : result.containers_by_pattern) {
+    run.containers += count;
+  }
+  run.has_energy = result.has_energy;
+  run.energy = result.energy;
   return run;
 }
 
@@ -51,6 +56,19 @@ SchedulingStageResult RunSchedulingStage(const DcContext& ctx, const Cluster& cl
   options.seed = ctx.StreamSeed("scheduling");
   options.rm_shards = config.rm_shards;
   options.nn_shards = config.nn_shards;
+  // Power subsystem: both runs account energy under the same curve so the
+  // H-vs-PT cost delta is apples-to-apples; the right-sizing and deferral
+  // policies themselves are H-only (the simulation gates them on mode).
+  options.power_accounting = config.power_accounting;
+  options.energy_price = config.energy_price;
+  options.dc_index = ctx.dc_index;
+  options.price_phase_hours = config.price_phase_hours;
+  options.rightsizing = config.rightsizing;
+  options.park_threshold = config.park_threshold;
+  options.defer_waves = config.defer_waves;
+  options.defer_window_hours = config.defer_window_hours;
+  options.defer_min_gain = config.defer_min_gain;
+  options.power_cap_watts = config.power_cap_watts;
   // Whatever headroom remains after the PT / H task split feeds the RM's
   // per-slot shard refresh.
   options.slot_threads = std::max(1, ctx.task_threads / 2);

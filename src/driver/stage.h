@@ -1,7 +1,7 @@
 // Composable stage API for the harvest_sim driver. The end-to-end pipeline
 // for one datacenter is a fixed sequence of typed stages
 //
-//   FleetBuild -> Clustering -> Scheduling -> PlacementAudit
+//   FleetBuild -> Clustering -> Scheduling -> Power -> PlacementAudit
 //               -> Durability -> Availability
 //
 // each a pure function of a DcContext (the scaled scenario config, the
@@ -30,6 +30,7 @@
 #include "src/cluster/cluster.h"
 #include "src/driver/scenario.h"
 #include "src/jobs/dag.h"
+#include "src/power/energy_accountant.h"
 #include "src/signal/pattern.h"
 #include "src/util/rng.h"
 
@@ -126,6 +127,12 @@ struct SchedulingRunResult {
   double average_primary_utilization = 0.0;
   bool has_storage = false;
   double failed_access_fraction = 0.0;
+  // Containers the run placed (sum over hosting patterns); the
+  // cost-per-container denominator.
+  int64_t containers = 0;
+  // Energy / cost ledger from the run's accountant (power_accounting only).
+  bool has_energy = false;
+  EnergyTotals energy;
 };
 
 // Per-class diagnostics of the H run (src/experiments ClassSchedulingDiagnostics,
@@ -157,6 +164,41 @@ struct SchedulingStageResult {
 };
 
 SchedulingStageResult RunSchedulingStage(const DcContext& ctx, const Cluster& cluster);
+
+// --- PowerStage -----------------------------------------------------------
+// Derives the per-DC energy / cost report from the scheduling stage's
+// accountant ledgers (src/power): cost-per-container and the H-vs-PT energy
+// and dollar savings. Pure arithmetic over SchedulingStageResult -- no RNG,
+// no cluster access -- so it rides after scheduling at negligible cost.
+
+struct PowerRunResult {
+  double fleet_joules = 0.0;
+  double container_joules = 0.0;
+  double total_joules = 0.0;
+  double cost_dollars = 0.0;
+  double cost_per_container = 0.0;  // 0 when the run placed no containers
+  double peak_power_watts = 0.0;
+  int64_t slots_over_cap = 0;
+  double parked_server_seconds = 0.0;
+  int64_t park_events = 0;
+  int64_t unpark_events = 0;
+  int64_t forced_unparks = 0;
+  int64_t deferred_jobs = 0;
+  double deferred_seconds = 0.0;
+};
+
+struct PowerStageResult {
+  // Canonical knob text of this DC's curve, after the per-DC phase shift.
+  std::string price_curve;
+  double power_cap_watts = 0.0;
+  PowerRunResult primary_aware;
+  PowerRunResult history;
+  // Positive = the H policies (right-sizing, deferral) drew / spent less.
+  double history_energy_savings_percent = 0.0;
+  double history_cost_savings_percent = 0.0;
+};
+
+PowerStageResult RunPowerStage(const DcContext& ctx, const SchedulingStageResult& scheduling);
 
 // --- PlacementAuditStage --------------------------------------------------
 
@@ -236,6 +278,7 @@ struct DcStageTiming {
   int64_t arena_high_water_bytes = 0;
   double clustering_seconds = 0.0;
   double scheduling_seconds = 0.0;
+  double power_seconds = 0.0;
   double placement_seconds = 0.0;
   double durability_seconds = 0.0;
   double availability_seconds = 0.0;
@@ -248,6 +291,8 @@ struct DatacenterResult {
   ClusteringStageResult clustering;
   bool has_scheduling = false;
   SchedulingStageResult scheduling;
+  bool has_power = false;
+  PowerStageResult power;
   PlacementAuditStageResult placement;
   bool has_durability = false;
   DurabilityStageResult durability;
@@ -272,9 +317,10 @@ struct RunTiming {
 // The whole run, typed. result_json.cc renders it; pipeline.cc summarizes it.
 // Schema v3 made the storage experiments grid objects (axes + cells) with
 // the full placement-kind coverage; v4 adds workload provenance
-// ("trace_source": synthetic vs replay).
+// ("trace_source": synthetic vs replay); v5 adds the per-DC "energy" block
+// (power_accounting scenarios only).
 struct ScenarioResult {
-  int schema_version = 4;
+  int schema_version = 5;
   std::string scenario;
   std::string description;
   uint64_t seed = 0;

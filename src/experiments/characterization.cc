@@ -40,7 +40,7 @@ DatacenterCharacterization CharacterizeDatacenter(const DatacenterProfile& profi
     std::vector<int> per_month(static_cast<size_t>(options.months), 0);
     int64_t total = 0;
     for (ServerId s : tenant.servers) {
-      const auto& times = cluster.server(s).reimage_times;
+      const auto times = cluster.ReimageTimes(s);
       double server_total = 0.0;
       for (double t : times) {
         if (t < horizon) {

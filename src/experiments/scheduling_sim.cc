@@ -55,6 +55,22 @@ class SchedulingSimulation {
     if (options.storage != StorageVariant::kNone) {
       SetupStorage();
     }
+    if (options.power_accounting) {
+      PriceCurve price;
+      std::string error;
+      HARVEST_CHECK(PriceCurve::Parse(options.energy_price, &price, &error)) << error;
+      price.ShiftPhase(static_cast<double>(options.dc_index) * options.price_phase_hours *
+                       3600.0);
+      accountant_ = std::make_unique<EnergyAccountant>(
+          &rm_.fleet_table(), PowerModel{}, price, options.rm_shards, options.slot_threads,
+          options.power_cap_watts);
+    }
+    if (options.rightsizing && options.mode == SchedulerMode::kHistory) {
+      ResourceManager::RightSizingOptions rightsizing;
+      rightsizing.enabled = true;
+      rightsizing.park_threshold = options.park_threshold;
+      rm_.ConfigureRightSizing(rightsizing);
+    }
   }
 
   SchedulingSimResult Run() {
@@ -152,12 +168,109 @@ class SchedulingSimulation {
     }
   }
 
+  // Fleet-aggregate day-ago forecast for the next defer-window slots: the
+  // server-weighted mean utilization fraction across the FleetTable's
+  // pooled traces, read from the same day-ago samples RM-H placement
+  // inspects (NodeManager::ForecastStartSlot / ForecastSampleAt). Cached
+  // per telemetry slot; curve[i] forecasts slot now_slot + i.
+  void RefreshDeferralCurve(int64_t now_slot) {
+    if (now_slot == defer_curve_slot_) {
+      return;
+    }
+    defer_curve_slot_ = now_slot;
+    const int window_slots = std::max(
+        1, static_cast<int>(options_.defer_window_hours * 3600.0 / kSlotSeconds));
+    defer_curve_.assign(static_cast<size_t>(window_slots) + 1, 0.0);
+    const FleetTable& table = rm_.fleet_table();
+    const int64_t day_ago = now_slot - static_cast<int64_t>(kSlotsPerDay);
+    const double total = static_cast<double>(table.num_servers());
+    if (total <= 0.0) {
+      return;
+    }
+    for (size_t i = 0; i < defer_curve_.size(); ++i) {
+      double sum = 0.0;
+      for (int g = 0; g < table.num_groups(); ++g) {
+        const size_t begin = table.group_begin(g);
+        const int32_t trace = table.trace_index()[begin];
+        if (trace < 0) {
+          continue;  // trace-less servers forecast as idle
+        }
+        // Wrap (rather than clamp) the day-ago index: a negative index --
+        // the whole first simulated day, where short horizons live entirely
+        // -- reads the same time of day one trace period later, which for
+        // the periodic telemetry the curve summarizes is the honest diurnal
+        // forecast. Placement forecasts keep the NM's clamped convention.
+        const UtilizationTrace& series = *table.trace(trace);
+        const int64_t period = static_cast<int64_t>(series.size());
+        const int64_t slot = day_ago + static_cast<int64_t>(i);
+        const int64_t wrapped = ((slot % period) + period) % period;
+        sum += static_cast<double>(table.group_end(g) - begin) * series.AtSlot(wrapped);
+      }
+      defer_curve_[i] = sum / total;
+    }
+  }
+
+  // Batch-wave deferral (H mode): seconds to hold an eligible arriving job
+  // so it starts at the best forecast valley within the defer window. 0 =
+  // admit now. Short jobs are latency-bound and never deferred; the valley
+  // must beat the current forecast by defer_min_gain -- unless the sampled
+  // power is over power_cap_watts, which forces the shift. Consumes no RNG.
+  double DeferralDelaySeconds(const JobDag& dag) {
+    if (!options_.defer_waves || options_.mode != SchedulerMode::kHistory) {
+      return 0.0;
+    }
+    if (history_.TypeOf(dag.name()) == JobType::kShort) {
+      return 0.0;
+    }
+    const double now = queue_.now();
+    const int64_t now_slot = static_cast<int64_t>(std::floor(now / kSlotSeconds));
+    RefreshDeferralCurve(now_slot);
+    size_t best = 0;
+    for (size_t i = 1; i < defer_curve_.size(); ++i) {
+      const double target =
+          static_cast<double>(now_slot + static_cast<int64_t>(i)) * kSlotSeconds;
+      if (target > options_.horizon_seconds) {
+        break;  // never defer a job out of the measured window
+      }
+      if (defer_curve_[i] < defer_curve_[best]) {
+        best = i;
+      }
+    }
+    if (best == 0) {
+      return 0.0;
+    }
+    const bool over_cap = options_.power_cap_watts > 0.0 && accountant_ != nullptr &&
+                          accountant_->last_power_watts() > options_.power_cap_watts;
+    if (!over_cap && defer_curve_[0] - defer_curve_[best] < options_.defer_min_gain) {
+      return 0.0;
+    }
+    return static_cast<double>(now_slot + static_cast<int64_t>(best)) * kSlotSeconds - now;
+  }
+
   void OnJobArrival(int query) {
+    const double delay = DeferralDelaySeconds(suite_[static_cast<size_t>(query)]);
+    if (delay > 0.0) {
+      ++deferred_jobs_;
+      deferred_seconds_ += delay;
+      // A deferred job re-arrives at its target wave: execution_seconds
+      // measures admission-to-finish, like a batch queue that admits at the
+      // submitted start window. The deliberate wait itself is reported
+      // separately (deferred_jobs / deferred_seconds in the energy block),
+      // not folded into the H-vs-PT execution delta it would otherwise
+      // dominate.
+      queue_.Schedule(queue_.now() + delay,
+                      [this, query] { AdmitJob(query, queue_.now()); });
+      return;
+    }
+    AdmitJob(query, queue_.now());
+  }
+
+  void AdmitJob(int query, double arrival_time) {
     ++result_.jobs_arrived;
     const JobDag* dag = &suite_[static_cast<size_t>(query)];
     JobId id = next_job_id_++;
     ActiveJob job;
-    job.am = std::make_unique<AppMaster>(id, dag, queue_.now());
+    job.am = std::make_unique<AppMaster>(id, dag, arrival_time);
     job.type = history_.TypeOf(dag->name());
     jobs_.emplace(id, std::move(job));
     pending_.insert(id);  // a fresh AM always has pending root tasks
@@ -323,6 +436,9 @@ class SchedulingSimulation {
       for (const Container& container : placed) {
         RunningTask task{id, demand.stage, container};
         running_.emplace(container.id, task);
+        if (accountant_) {
+          accountant_->OnContainerStart(container.resources.cores);
+        }
         IssueTaskAccesses(now);
         UtilizationPattern pattern =
             cluster_.tenant(cluster_.server(container.server).tenant).true_pattern;
@@ -393,6 +509,10 @@ class SchedulingSimulation {
     RunningTask task = it->second;
     running_.erase(it);
     rm_.Release(task.container);
+    if (accountant_) {
+      accountant_->OnContainerEnd(task.container.resources.cores,
+                                  task.container.start_time, queue_.now());
+    }
 
     ActiveJob& job = jobs_.at(task.job);
     bool finished = job.am->OnTaskComplete(task.stage, queue_.now());
@@ -446,6 +566,14 @@ class SchedulingSimulation {
 
   void Tick() {
     const double now = queue_.now();
+    // 0. Energy: integrate the interval that just elapsed under the parked
+    // state in force during it (parking transitions happen at the END of a
+    // tick, so the counts set then cover [now - tick, now) -- placement
+    // effect immediate, power effect at the next slot boundary).
+    if (accountant_) {
+      accountant_->IntegrateSlot(now - options_.tick_seconds, now,
+                                 rm_.group_parked().empty() ? nullptr : &rm_.group_parked());
+    }
     // 1. NMs replenish reserves; killed tasks return to their AMs.
     std::vector<Container> killed = rm_.EnforceReserves(now);
     for (const Container& container : killed) {
@@ -455,6 +583,9 @@ class SchedulingSimulation {
       }
       RunningTask task = it->second;
       running_.erase(it);
+      if (accountant_) {
+        accountant_->OnContainerEnd(container.resources.cores, container.start_time, now);
+      }
       jobs_.at(task.job).am->OnTaskKilled(task.stage);
       pending_.insert(task.job);  // the killed task returns to the pending pool
       ++window_kills_[container.server];
@@ -478,6 +609,10 @@ class SchedulingSimulation {
     utilization_sum_ += rm_.AverageTotalUtilization(now);
     primary_sum_ += cluster_.AverageUtilizationAt(now);
     ++utilization_samples_;
+    // 4. Right-sizing transitions for the interval that starts now.
+    if (options_.rightsizing && options_.mode == SchedulerMode::kHistory) {
+      rm_.UpdateParking(now);
+    }
 
     if (now + options_.tick_seconds <= options_.horizon_seconds) {
       queue_.Schedule(now + options_.tick_seconds, [this] { Tick(); });
@@ -530,6 +665,30 @@ class SchedulingSimulation {
       result_.storage = name_node_->stats();
     }
     result_.rm_arena_high_water_bytes = rm_.arena_high_water_bytes();
+    if (accountant_) {
+      // Close out still-running containers at the horizon, in container-id
+      // order (every placed container ends exactly once).
+      std::vector<ContainerId> live;
+      live.reserve(running_.size());
+      for (const auto& [cid, task] : running_) {
+        (void)task;
+        live.push_back(cid);
+      }
+      std::sort(live.begin(), live.end());
+      for (ContainerId cid : live) {
+        const RunningTask& task = running_.at(cid);
+        accountant_->OnContainerEnd(task.container.resources.cores,
+                                    task.container.start_time, options_.horizon_seconds);
+      }
+      EnergyTotals& energy = accountant_->totals();
+      energy.park_events = rm_.parking_stats().park_events;
+      energy.unpark_events = rm_.parking_stats().unpark_events;
+      energy.forced_unparks = rm_.parking_stats().forced_unparks;
+      energy.deferred_jobs = deferred_jobs_;
+      energy.deferred_seconds = deferred_seconds_;
+      result_.energy = energy;
+      result_.has_energy = true;
+    }
     return std::move(result_);
   }
 
@@ -564,6 +723,13 @@ class SchedulingSimulation {
   // retry sweep touches only jobs that can actually make progress.
   std::set<JobId> pending_;
   std::unordered_map<ContainerId, RunningTask> running_;
+  // Power subsystem: the energy / cost ledger (power_accounting runs only)
+  // and the deferral valley curve, cached per telemetry slot.
+  std::unique_ptr<EnergyAccountant> accountant_;
+  std::vector<double> defer_curve_;
+  int64_t defer_curve_slot_ = std::numeric_limits<int64_t>::min();
+  int64_t deferred_jobs_ = 0;
+  double deferred_seconds_ = 0.0;
   std::unordered_map<ServerId, int> window_kills_;
   int64_t window_interfering_ = 0;
   double utilization_sum_ = 0.0;

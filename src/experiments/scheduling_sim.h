@@ -18,6 +18,7 @@
 #include "src/jobs/dag.h"
 #include "src/jobs/workload.h"
 #include "src/latency/service_model.h"
+#include "src/power/energy_accountant.h"
 #include "src/scheduler/resource_manager.h"
 #include "src/storage/name_node.h"
 
@@ -63,6 +64,27 @@ struct SchedulingSimOptions {
   int rm_shards = 0;
   int nn_shards = 0;
   int slot_threads = 1;
+  // --- Power subsystem (src/power) ----------------------------------------
+  // Energy / cost accounting riding the tick cadence. Off by default: no
+  // accountant is built and no energy block is reported.
+  bool power_accounting = false;
+  // PriceCurve knob text ("" = the default flat:0.10); see price_curve.h.
+  std::string energy_price;
+  // Per-DC time-zone shift: this DC's price peak moves later by
+  // dc_index * price_phase_hours.
+  int dc_index = 0;
+  double price_phase_hours = 0.0;
+  // Dynamic right-sizing (H mode only): park / unpark primary-idle servers.
+  bool rightsizing = false;
+  double park_threshold = 0.05;
+  // Batch-wave deferral (H mode only): shift eligible (medium / long)
+  // arriving jobs into the upcoming valley of the fleet's day-ago forecast
+  // when the valley is at least defer_min_gain utilization below now -- or
+  // unconditionally while the sampled power exceeds power_cap_watts.
+  bool defer_waves = false;
+  double defer_window_hours = 6.0;
+  double defer_min_gain = 0.02;
+  double power_cap_watts = 0.0;  // 0 = no cap telemetry / cap-forced deferral
   uint64_t seed = 1;
 };
 
@@ -121,6 +143,9 @@ struct SchedulingSimResult {
   std::array<int64_t, 3> kills_by_pattern{0, 0, 0};
   // One entry per utilization class, in snapshot order; empty in PT mode.
   std::vector<ClassSchedulingDiagnostics> class_diagnostics;
+  // Energy / cost ledger (power_accounting runs only).
+  bool has_energy = false;
+  EnergyTotals energy;
 };
 
 SchedulingSimResult RunSchedulingSimulation(const Cluster& cluster,

@@ -80,7 +80,7 @@ StorageTimeline BuildStorageTimeline(const Cluster& cluster,
 
   if (options.reimage_horizon_seconds > 0.0) {
     for (const auto& server : cluster.servers()) {
-      for (double t : server.reimage_times) {
+      for (double t : cluster.ReimageTimes(server.id)) {
         if (t < options.reimage_horizon_seconds) {
           timeline.reimages.emplace_back(t, server.id);
         }

@@ -1,0 +1,112 @@
+#include "src/power/price_curve.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace harvest {
+namespace {
+
+constexpr double kDaySeconds = 24.0 * 3600.0;
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+// Strict double parse of one comma/colon field.
+bool ParseField(std::string_view text, double* value) {
+  std::string buffer(text);
+  char* end = nullptr;
+  *value = std::strtod(buffer.c_str(), &end);
+  return end != buffer.c_str() && *end == '\0' && std::isfinite(*value);
+}
+
+}  // namespace
+
+bool PriceCurve::Parse(std::string_view text, PriceCurve* curve, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  PriceCurve parsed;
+  if (text.empty()) {
+    *curve = parsed;
+    return true;
+  }
+  const size_t colon = text.find(':');
+  const std::string_view kind = text.substr(0, colon);
+  const std::string_view rest = colon == std::string_view::npos ? std::string_view() : text.substr(colon + 1);
+  if (kind == "flat") {
+    double price = 0.0;
+    if (!ParseField(rest, &price) || price <= 0.0) {
+      return fail("energy_price: expected flat:<dollars_per_kwh> with a positive price");
+    }
+    parsed.base_ = price;
+    parsed.amplitude_ = 0.0;
+  } else if (kind == "diurnal") {
+    const size_t c1 = rest.find(',');
+    const size_t c2 = c1 == std::string_view::npos ? std::string_view::npos : rest.find(',', c1 + 1);
+    double base = 0.0;
+    double amplitude = 0.0;
+    double peak_hour = 0.0;
+    if (c2 == std::string_view::npos || !ParseField(rest.substr(0, c1), &base) ||
+        !ParseField(rest.substr(c1 + 1, c2 - c1 - 1), &amplitude) ||
+        !ParseField(rest.substr(c2 + 1), &peak_hour)) {
+      return fail("energy_price: expected diurnal:<base>,<amplitude>,<peak_hour>");
+    }
+    if (base <= 0.0 || amplitude < 0.0 || amplitude > base) {
+      return fail("energy_price: need base > 0 and 0 <= amplitude <= base "
+                  "(the spot price must stay positive)");
+    }
+    if (peak_hour < 0.0 || peak_hour >= 24.0) {
+      return fail("energy_price: peak_hour must be in [0, 24)");
+    }
+    parsed.base_ = base;
+    parsed.amplitude_ = amplitude;
+    parsed.peak_seconds_ = peak_hour * 3600.0;
+  } else {
+    return fail("energy_price: unknown curve kind '" + std::string(kind) +
+                "' (use flat:... or diurnal:...)");
+  }
+  *curve = parsed;
+  return true;
+}
+
+double PriceCurve::PriceAt(double t) const {
+  if (amplitude_ == 0.0) {
+    return base_;
+  }
+  return base_ + amplitude_ * std::cos(kTwoPi * (t - peak_seconds_) / kDaySeconds);
+}
+
+double PriceCurve::CostDollars(double watts, double t0, double t1) const {
+  if (t1 <= t0 || watts <= 0.0) {
+    return 0.0;
+  }
+  // Integral of the $/kWh spot price over [t0, t1), in $*s/kWh: the flat
+  // term plus the closed-form cosine antiderivative.
+  double integral = base_ * (t1 - t0);
+  if (amplitude_ != 0.0) {
+    const double scale = kDaySeconds / kTwoPi;
+    integral += amplitude_ * scale *
+                (std::sin(kTwoPi * (t1 - peak_seconds_) / kDaySeconds) -
+                 std::sin(kTwoPi * (t0 - peak_seconds_) / kDaySeconds));
+  }
+  // watts -> kW, seconds of $/kWh -> hours.
+  return (watts / 1000.0) * integral / 3600.0;
+}
+
+std::string PriceCurve::ToString() const {
+  char buffer[96];
+  if (amplitude_ == 0.0) {
+    std::snprintf(buffer, sizeof(buffer), "flat:%g", base_);
+  } else {
+    double peak_hour = std::fmod(peak_seconds_ / 3600.0, 24.0);
+    if (peak_hour < 0.0) {
+      peak_hour += 24.0;
+    }
+    std::snprintf(buffer, sizeof(buffer), "diurnal:%g,%g,%g", base_, amplitude_, peak_hour);
+  }
+  return buffer;
+}
+
+}  // namespace harvest

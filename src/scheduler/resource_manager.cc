@@ -121,22 +121,33 @@ void ResourceManager::EnsureSlot(double t) const {
 }
 
 void ResourceManager::AdvanceTraceWindow(TraceWindow& window, int64_t start_slot, int samples,
-                                         bool rebuild) const {
+                                         bool rebuild, int64_t prev_start_slot,
+                                         bool wrap) const {
   const int64_t end_slot = start_slot + samples;  // exclusive
   int64_t push_from = start_slot;
   if (rebuild) {
     window.window.clear();
   } else {
     // Slide: drop samples that left the window, append the ones that
-    // entered. The previous window was [forecast_start_slot_,
-    // forecast_start_slot_ + samples), so pushing resumes after its end.
-    push_from = std::max(start_slot, forecast_start_slot_ + samples);
+    // entered. The previous window was [prev_start_slot,
+    // prev_start_slot + samples), so pushing resumes after its end.
+    push_from = std::max(start_slot, prev_start_slot + samples);
     while (!window.window.empty() && window.window.front().first < start_slot) {
       window.window.pop_front();
     }
   }
+  const int64_t period = static_cast<int64_t>(window.trace->size());
   for (int64_t slot = push_from; slot < end_slot; ++slot) {
-    const double value = NodeManager::ForecastSampleAt(*window.trace, slot);
+    // Placement forecasts clamp negative (pre-history) slots to the trace
+    // start (the NM convention). The park windows wrap instead: in the
+    // first simulated day a negative day-ago index reads the same time of
+    // day one trace period later, the honest answer for the periodic
+    // telemetry parking keys on -- a clamped window would report a
+    // constant early peak and let servers park right before yesterday's
+    // ramp-up, churning park / forced-unpark every few slots.
+    const double value =
+        wrap ? window.trace->AtSlot(static_cast<size_t>(((slot % period) + period) % period))
+             : NodeManager::ForecastSampleAt(*window.trace, slot);
     while (!window.window.empty() && window.window.back().second <= value) {
       window.window.pop_back();
     }
@@ -159,7 +170,8 @@ void ResourceManager::RefreshForecasts() const {
                        start_slot < forecast_start_slot_ ||
                        start_slot - forecast_start_slot_ >= samples;
   ParallelForIndex(slot_threads_, table_.num_traces(), [&](int w) {
-    AdvanceTraceWindow(trace_windows_[static_cast<size_t>(w)], start_slot, samples, rebuild);
+    AdvanceTraceWindow(trace_windows_[static_cast<size_t>(w)], start_slot, samples, rebuild,
+                       forecast_start_slot_, /*wrap=*/false);
   });
   forecast_start_slot_ = start_slot;
   forecast_samples_ = samples;
@@ -232,7 +244,11 @@ void ResourceManager::RebuildAvailabilityAndWeights() const {
     }
     int64_t* partial = partials + static_cast<size_t>(shard) * static_cast<size_t>(num_classes_);
     for (size_t s = begin; s < end; ++s) {
-      node_avail_[s] = nodes_[s].AvailableForSecondaryGiven(node_primary_cores_[s]);
+      // A parked server reports no room at all: weight 0 in every sampler
+      // (Resources{0,0} fits no shape) and nothing in the class aggregates.
+      node_avail_[s] = IsParked(static_cast<ServerId>(s))
+                           ? Resources{0, 0}
+                           : nodes_[s].AvailableForSecondaryGiven(node_primary_cores_[s]);
       int c = server_class_[s];
       if (c >= 0 && c < num_classes_) {
         partial[c] += node_avail_[s].cores;
@@ -288,7 +304,8 @@ void ResourceManager::ResyncNode(ServerId s) {
     return;  // nothing cached yet; the next EnsureSlot rebuilds everything
   }
   const size_t i = static_cast<size_t>(s);
-  Resources avail = nodes_[i].AvailableForSecondaryGiven(node_primary_cores_[i]);
+  Resources avail = IsParked(s) ? Resources{0, 0}
+                                : nodes_[i].AvailableForSecondaryGiven(node_primary_cores_[i]);
   int c = server_class_[i];
   if (c >= 0 && c < num_classes_) {
     class_avail_cores_[static_cast<size_t>(c)] += avail.cores - node_avail_[i].cores;
@@ -384,6 +401,7 @@ void ResourceManager::Release(const Container& container) {
                          << container.server;
   if (node.idle()) {
     active_.erase(container.server);
+    MaybeParkOnDrain(container.server);
   }
   ResyncNode(container.server);
 }
@@ -402,6 +420,7 @@ std::vector<Container> ResourceManager::EnforceReserves(double t) {
     if (!k.empty()) {
       if (node.idle()) {
         active_.erase(s);
+        MaybeParkOnDrain(s);
       }
       ResyncNode(s);
       killed.insert(killed.end(), k.begin(), k.end());
@@ -409,6 +428,98 @@ std::vector<Container> ResourceManager::EnforceReserves(double t) {
   }
   total_kills_ += static_cast<int64_t>(killed.size());
   return killed;
+}
+
+void ResourceManager::ConfigureRightSizing(const RightSizingOptions& options) {
+  rightsizing_ = options;
+  parked_.assign(nodes_.size(), 0);
+  trace_parkable_.assign(static_cast<size_t>(table_.num_traces()), 0);
+  group_parked_.assign(static_cast<size_t>(table_.num_groups()), 0);
+  parked_count_ = 0;
+  parking_stats_ = ParkingStats{};
+  park_windows_.clear();
+  park_windows_.resize(static_cast<size_t>(table_.num_traces()));
+  for (int w = 0; w < table_.num_traces(); ++w) {
+    park_windows_[static_cast<size_t>(w)].trace = table_.trace(w);
+  }
+  park_start_slot_ = kNoSlot;
+  cached_slot_ = kNoSlot;  // rebuild availability under the new parked gates
+}
+
+void ResourceManager::ParkServer(ServerId s) {
+  parked_[static_cast<size_t>(s)] = 1;
+  ++group_parked_[static_cast<size_t>(table_.group()[static_cast<size_t>(s)])];
+  ++parked_count_;
+  ++parking_stats_.park_events;
+}
+
+void ResourceManager::UnparkServer(ServerId s) {
+  parked_[static_cast<size_t>(s)] = 0;
+  --group_parked_[static_cast<size_t>(table_.group()[static_cast<size_t>(s)])];
+  --parked_count_;
+  ++parking_stats_.unpark_events;
+}
+
+void ResourceManager::MaybeParkOnDrain(ServerId s) {
+  if (!rightsizing_.enabled || parked_[static_cast<size_t>(s)] != 0) {
+    return;
+  }
+  const int32_t trace = table_.trace_index()[static_cast<size_t>(s)];
+  if (trace >= 0 && trace_parkable_[static_cast<size_t>(trace)] != 0) {
+    ParkServer(s);  // caller resyncs the node right after
+  }
+}
+
+void ResourceManager::UpdateParking(double t) {
+  if (!rightsizing_.enabled) {
+    return;
+  }
+  EnsureSlot(t);
+  // Park-decision forecast: the day-ago window peak over the fixed
+  // kMinForecastWindowSeconds horizon, slid per pooled trace exactly like
+  // RefreshForecasts' windows (but on an independent deque set, since the
+  // placement profile's window size changes with the request mix).
+  const int64_t start_slot = NodeManager::ForecastStartSlot(t);
+  const int samples = NodeManager::ForecastSampleCount(kMinForecastWindowSeconds);
+  if (start_slot != park_start_slot_) {
+    const bool rebuild = park_start_slot_ == kNoSlot || start_slot < park_start_slot_ ||
+                         start_slot - park_start_slot_ >= samples;
+    ParallelForIndex(slot_threads_, table_.num_traces(), [&](int w) {
+      AdvanceTraceWindow(park_windows_[static_cast<size_t>(w)], start_slot, samples, rebuild,
+                         park_start_slot_, /*wrap=*/true);
+    });
+    park_start_slot_ = start_slot;
+  }
+  // Parkability per pooled trace: a threshold on the utilization FRACTION
+  // (capacity-independent, so one decision covers the whole shared-trace
+  // group) of both the live value and the day-ago window peak.
+  for (int w = 0; w < table_.num_traces(); ++w) {
+    const size_t i = static_cast<size_t>(w);
+    const double live = table_.trace(w)->AtTime(t);
+    trace_parkable_[i] = live <= rightsizing_.park_threshold &&
+                                 park_windows_[i].peak <= rightsizing_.park_threshold
+                             ? 1
+                             : 0;
+  }
+  // Transitions in ServerId order (deterministic; ResyncNode keeps every
+  // sampler and aggregate exact as we go). Parked servers host no
+  // containers, so an unpark never needs reserve enforcement and a park
+  // never strands one.
+  const std::vector<int32_t>& trace_of = table_.trace_index();
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    const int32_t trace = trace_of[s];
+    const bool parkable = trace >= 0 && trace_parkable_[static_cast<size_t>(trace)] != 0;
+    if (parked_[s] != 0 && !parkable) {
+      UnparkServer(static_cast<ServerId>(s));
+      if (trace >= 0 && table_.trace(trace)->AtTime(t) > rightsizing_.park_threshold) {
+        ++parking_stats_.forced_unparks;  // live demand beat the forecast
+      }
+      ResyncNode(static_cast<ServerId>(s));
+    } else if (parked_[s] == 0 && parkable && nodes_[s].idle()) {
+      ParkServer(static_cast<ServerId>(s));
+      ResyncNode(static_cast<ServerId>(s));
+    }
+  }
 }
 
 double ResourceManager::ClassCurrentUtilization(int class_id, double t) const {
@@ -469,6 +580,28 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
       return fail("active set out of sync for server " + std::to_string(s));
     }
   }
+  if (rightsizing_.enabled) {
+    // Parking bookkeeping: parked implies idle, and the per-group / total
+    // counters must match a dense recount of the parked bits.
+    int64_t parked_total = 0;
+    std::vector<int32_t> expected_group(static_cast<size_t>(table_.num_groups()), 0);
+    for (size_t s = 0; s < nodes_.size(); ++s) {
+      if (parked_[s] == 0) {
+        continue;
+      }
+      if (!nodes_[s].idle()) {
+        return fail("parked server " + std::to_string(s) + " hosts containers");
+      }
+      ++parked_total;
+      ++expected_group[static_cast<size_t>(table_.group()[s])];
+    }
+    if (parked_total != parked_count_) {
+      return fail("parked count out of sync");
+    }
+    if (expected_group != group_parked_) {
+      return fail("per-group parked counts out of sync");
+    }
+  }
   if (cached_slot_ == kNoSlot) {
     return true;  // nothing cached yet
   }
@@ -476,11 +609,12 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
   int64_t weight_total = 0;
   for (size_t s = 0; s < nodes_.size(); ++s) {
     const NodeManager& node = nodes_[s];
+    const bool parked = IsParked(static_cast<ServerId>(s));
     const std::string at = " for server " + std::to_string(s);
     if (node.PrimaryCores(t) != node_primary_cores_[s]) {
       return fail("stale primary cores" + at);
     }
-    if (node.AvailableForSecondary(t) != node_avail_[s]) {
+    if ((parked ? Resources{0, 0} : node.AvailableForSecondary(t)) != node_avail_[s]) {
       return fail("stale availability" + at);
     }
     if (!profile_.valid) {
@@ -494,7 +628,7 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
     // room, boosted when the history forecast says this shape survives here
     // (the eligibility filter of NodeWeight).
     int64_t expected = 0;
-    Resources room = node.AvailableForSecondary(t);
+    Resources room = parked ? Resources{0, 0} : node.AvailableForSecondary(t);
     if (room.Fits(profile_.shape)) {
       expected = room.cores;
       if (profile_.history_aware &&
@@ -521,7 +655,7 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
     int64_t class_weight = 0;
     for (size_t i = 0; i < servers.size(); ++i) {
       const size_t s = static_cast<size_t>(servers[i]);
-      cores += nodes_[s].AvailableForSecondary(t).cores;
+      cores += IsParked(servers[i]) ? 0 : nodes_[s].AvailableForSecondary(t).cores;
       if (profile_.valid) {
         if (picker.PrefixSum(i + 1) - picker.PrefixSum(i) != node_weight_[s]) {
           return fail("class Fenwick out of sync" + at);

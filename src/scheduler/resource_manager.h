@@ -113,6 +113,48 @@ class ResourceManager {
 
   int64_t total_kills() const { return total_kills_; }
 
+  // --- Dynamic right-sizing (src/power: park / unpark primary-idle servers)
+  // A server parks when its primary tenant is provably idle: live
+  // utilization AND the day-ago forecast-window peak both at or below
+  // park_threshold (a fraction, so the decision is capacity-independent and
+  // uniform across a telemetry group's shared trace), and the server hosts
+  // no containers. A parked server's cached availability is {0, 0}: weight
+  // 0 in every placement sampler, excluded from the class available-core
+  // aggregates, invisible to reserve enforcement (parked implies idle).
+  // Placement effect is immediate; the energy accountant charges parked
+  // draw from the next slot boundary (see src/power/energy_accountant.h).
+  struct RightSizingOptions {
+    bool enabled = false;
+    // Utilization fraction at or below which a primary counts as idle.
+    double park_threshold = 0.05;
+  };
+  struct ParkingStats {
+    int64_t park_events = 0;
+    int64_t unpark_events = 0;
+    // Unparks where the live primary had already breached the threshold:
+    // demand arrived before the forecast predicted it.
+    int64_t forced_unparks = 0;
+  };
+
+  // Enables (or reconfigures) right-sizing; resets all parking state.
+  void ConfigureRightSizing(const RightSizingOptions& options);
+
+  // Re-evaluates parkability per pooled trace at `t` and transitions
+  // servers (in ServerId order): unparkable traces force their parked
+  // servers back into service, parkable traces park their drained ones.
+  // Call once per tick, after the tick's energy integration.
+  void UpdateParking(double t);
+
+  const ParkingStats& parking_stats() const { return parking_stats_; }
+  int64_t parked_count() const { return parked_count_; }
+  bool IsParked(ServerId s) const {
+    return rightsizing_.enabled && parked_[static_cast<size_t>(s)] != 0;
+  }
+  // Per-telemetry-group parked counts for the energy accountant's per-group
+  // slot integration (empty until ConfigureRightSizing).
+  const std::vector<int32_t>& group_parked() const { return group_parked_; }
+  const FleetTable& fleet_table() const { return table_; }
+
   // High-water mark of the per-slot scratch arena, for the driver's memory
   // telemetry (the "timing" block golden_check strips).
   int64_t arena_high_water_bytes() const {
@@ -168,8 +210,19 @@ class ResourceManager {
   // the per-shard broadcast both fan out to slot_threads workers.
   void RefreshForecasts() const;
   // Slides (or rebuilds) one trace window to [start_slot, start_slot+samples).
+  // `prev_start_slot` is the window's previous start (a slide resumes
+  // pushing after its end); ignored when rebuilding. `wrap` selects the
+  // park windows' periodic day-ago indexing over the NM's clamped
+  // convention (see the definition).
   void AdvanceTraceWindow(TraceWindow& window, int64_t start_slot, int samples,
-                          bool rebuild) const;
+                          bool rebuild, int64_t prev_start_slot, bool wrap) const;
+  // Flips one server's parked bit and its group / total counters. The
+  // caller must ResyncNode afterwards (all sites do).
+  void ParkServer(ServerId s);
+  void UnparkServer(ServerId s);
+  // Park-on-drain hook (Release / reserve kills): a server going idle in a
+  // currently-parkable group parks immediately.
+  void MaybeParkOnDrain(ServerId s);
   // Recomputes per-node primary cores (once per telemetry group) and
   // availability + class aggregates, and (when a profile is cached) all
   // weights + Fenwick sub-trees: one task per shard, partials merged
@@ -202,6 +255,19 @@ class ResourceManager {
   // visit order -- and every emitted byte -- is unchanged).
   std::set<ServerId> active_;
   std::vector<ServerId> active_scratch_;  // iteration snapshot (kills mutate active_)
+
+  // --- Right-sizing state (all empty until ConfigureRightSizing) ----------
+  RightSizingOptions rightsizing_;
+  std::vector<uint8_t> parked_;          // per server
+  std::vector<uint8_t> trace_parkable_;  // per pooled trace, as of last tick
+  std::vector<int32_t> group_parked_;    // per telemetry group
+  int64_t parked_count_ = 0;
+  ParkingStats parking_stats_;
+  // Park-decision forecast windows: a fixed kMinForecastWindowSeconds
+  // day-ago window per pooled trace, independent of the placement profile's
+  // window (which changes with the request mix).
+  std::vector<TraceWindow> park_windows_;
+  int64_t park_start_slot_ = kNoSlot;
 
   // --- Per-slot caches (mutable: const queries refresh them lazily) -------
   mutable int64_t cached_slot_ = kNoSlot;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "src/signal/pattern.h"
@@ -40,7 +41,7 @@ void PutF64(std::string& out, double value) {
   PutU64(out, bits);
 }
 
-void PutSeries(std::string& out, const std::vector<double>& samples) {
+void PutSeries(std::string& out, std::span<const double> samples) {
   PutU64(out, samples.size());
   for (double sample : samples) {
     PutF64(out, sample);
@@ -179,7 +180,7 @@ bool WriteClusterTraceFile(const Cluster& cluster, const std::string& path,
     const UtilizationTrace* trace = server.utilization.get();
     int64_t index = trace == nullptr ? -1 : trace_index.at(trace);
     PutU64(out, static_cast<uint64_t>(index));
-    PutSeries(out, server.reimage_times);
+    PutSeries(out, cluster.ReimageTimes(server.id));
   }
 
   std::FILE* file = std::fopen(path.c_str(), "wb");
@@ -315,10 +316,12 @@ bool ReadClusterTraceFile(const std::string& path, Cluster* cluster, TraceFileIn
     server.capacity = Resources{static_cast<int>(cores), static_cast<int>(memory_mb)};
     server.harvestable_blocks = static_cast<int64_t>(harvestable);
     server.utilization = pool[static_cast<size_t>(trace_index)];
-    if (!reader.Series(&server.reimage_times, kMaxCount)) {
+    std::vector<double> reimage_times;
+    if (!reader.Series(&reimage_times, kMaxCount)) {
       return malformed("truncated reimage timeline");
     }
-    result.AddServer(std::move(server));
+    const ServerId id = result.AddServer(std::move(server));
+    result.SetReimageTimes(id, reimage_times.data(), reimage_times.size());
   }
 
   if (!reader.AtEnd()) {

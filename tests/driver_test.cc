@@ -306,7 +306,7 @@ TEST(ResultJsonTest, RendersOverridesAndTopLevelFields) {
   result.scale = 0.5;
   result.overrides = {"fleet_scale=0.5", "run_durability=false"};
   std::string json = RenderScenarioJson(result);
-  EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"trace_source\": \"synthetic\""), std::string::npos);
   EXPECT_NE(json.find("\"fleet_scale=0.5\""), std::string::npos);
   EXPECT_NE(json.find("\"run_durability=false\""), std::string::npos);

@@ -104,4 +104,29 @@ for threads in 1 2 8; do
     fi
   done
 done
+
+# The power presets add a second accounting consumer of the shard layout
+# (the energy accountant shares the RM's group-snapped partition) plus the
+# parking / deferral policies, so the ISSUE's acceptance crosses the same
+# axes explicitly for both: the energy block must not move a byte either.
+for scenario in diurnal_pricing power_cap; do
+  "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" --threads=1 \
+    --set rm_shards=1 --out="$tmp/power.raw.json" 2>/dev/null
+  strip_timing "$tmp/power.raw.json" > "$tmp/power.json"
+  for threads in 1 2 8; do
+    for rm_shards in 1 4; do
+      [ "$threads" -eq 1 ] && [ "$rm_shards" -eq 1 ] && continue
+      "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" \
+        --threads="$threads" --set rm_shards="$rm_shards" \
+        --out="$tmp/power_run.raw.json" 2>/dev/null
+      strip_timing "$tmp/power_run.raw.json" > "$tmp/power_run.json"
+      if cmp -s "$tmp/power.json" "$tmp/power_run.json"; then
+        echo "OK: $scenario threads=$threads rm_shards=$rm_shards matches the 1x1 reference"
+      else
+        echo "FAIL: $scenario differs at threads=$threads rm_shards=$rm_shards" >&2
+        status=1
+      fi
+    done
+  done
+done
 exit $status

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -84,7 +85,10 @@ void ExpectClustersIdentical(const Cluster& a, const Cluster& b) {
     if (sa.utilization != nullptr) {
       EXPECT_EQ(sa.utilization->samples(), sb.utilization->samples());
     }
-    EXPECT_EQ(sa.reimage_times, sb.reimage_times);
+    const auto ra = a.ReimageTimes(static_cast<ServerId>(s));
+    const auto rb = b.ReimageTimes(static_cast<ServerId>(s));
+    ASSERT_EQ(ra.size(), rb.size());
+    EXPECT_TRUE(std::equal(ra.begin(), ra.end(), rb.begin()));
   }
 }
 

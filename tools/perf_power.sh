@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Repeatable wall-clock + energy benchmark of the power subsystem.
+#
+# Runs both power presets (diurnal_pricing, power_cap) and records, per
+# preset, the best-of-reps wall clock, the driver's power-stage timing, and
+# the per-DC energy ledgers (joules, dollars, cost per container, H-vs-PT
+# savings) into BENCH_power.json -- the committed trajectory file for the
+# energy accounting, refreshed deliberately per PR like BENCH_sched.json.
+#
+#   tools/perf_power.sh [--bin PATH] [--scale F] [--seed N] [--threads N]
+#                       [--reps K] [--out PATH]
+#
+# The committed reference measurement uses --scale 0.1 (CI runs the same
+# configuration and uploads the artifact next to the sched/storage benches).
+set -euo pipefail
+
+BIN=build/harvest_sim
+SCALE=0.1
+SEED=42
+THREADS=1
+REPS=2
+OUT=BENCH_power.json
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --bin) BIN=$2; shift 2 ;;
+    --scale) SCALE=$2; shift 2 ;;
+    --seed) SEED=$2; shift 2 ;;
+    --threads) THREADS=$2; shift 2 ;;
+    --reps) REPS=$2; shift 2 ;;
+    --out) OUT=$2; shift 2 ;;
+    *) echo "perf_power.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+PRESETS=(diurnal_pricing power_cap)
+WALLS_ALL=""
+for scenario in "${PRESETS[@]}"; do
+  walls=()
+  for rep in $(seq 1 "$REPS"); do
+    start=$(date +%s%N)
+    "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" \
+      --threads="$THREADS" --out="$tmp/$scenario.json" 2>/dev/null
+    end=$(date +%s%N)
+    wall=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
+    walls+=("$wall")
+    echo "perf_power: $scenario rep $rep/$REPS: ${wall}s" >&2
+  done
+  WALLS_ALL="$WALLS_ALL$scenario:${walls[*]};"
+done
+
+TMP="$tmp" SCALE="$SCALE" SEED="$SEED" THREADS="$THREADS" REPS="$REPS" \
+OUT="$OUT" BIN="$BIN" WALLS_ALL="$WALLS_ALL" PRESETS="${PRESETS[*]}" \
+python3 - <<'EOF'
+import json
+import os
+
+walls_by_preset = {}
+for chunk in os.environ["WALLS_ALL"].split(";"):
+    if not chunk:
+        continue
+    name, walls = chunk.split(":")
+    walls_by_preset[name] = [float(w) for w in walls.split()]
+
+bench = {
+    "benchmark": "power subsystem: energy accounting + policies (ISSUE 7)",
+    "seed": int(os.environ["SEED"]),
+    "scale": float(os.environ["SCALE"]),
+    "threads": int(os.environ["THREADS"]),
+    "reps": int(os.environ["REPS"]),
+    "presets": {},
+}
+for name in os.environ["PRESETS"].split():
+    with open(os.path.join(os.environ["TMP"], name + ".json")) as handle:
+        run = json.load(handle)
+    walls = walls_by_preset[name]
+    datacenters = []
+    for dc in run["datacenters"]:
+        energy = dc["energy"]
+        datacenters.append({
+            "name": dc["name"],
+            "price_curve": energy["price_curve"],
+            "history_total_joules": energy["history"]["total_joules"],
+            "history_cost_dollars": energy["history"]["cost_dollars"],
+            "history_cost_per_container": energy["history"]["cost_per_container"],
+            "primary_aware_total_joules": energy["primary_aware"]["total_joules"],
+            "history_energy_savings_percent": energy["history_energy_savings_percent"],
+            "history_cost_savings_percent": energy["history_cost_savings_percent"],
+        })
+    bench["presets"][name] = {
+        "command": "%s --scenario=%s --seed=%s --scale=%s --threads=%s"
+        % (os.environ["BIN"], name, os.environ["SEED"], os.environ["SCALE"],
+           os.environ["THREADS"]),
+        "wall_seconds_per_rep": walls,
+        "wall_seconds": min(walls),
+        # The driver's own wall-clock for the pure-arithmetic power stage
+        # (the accounting itself rides the scheduling stage's slot loop).
+        "driver_power_stage_seconds": [
+            dc["power_seconds"] for dc in run["timing"]["datacenters"]
+        ],
+        "driver_scheduling_seconds": [
+            dc["scheduling_seconds"] for dc in run["timing"]["datacenters"]
+        ],
+        "datacenters": datacenters,
+    }
+with open(os.environ["OUT"], "w") as handle:
+    json.dump(bench, handle, indent=2)
+    handle.write("\n")
+for name, entry in bench["presets"].items():
+    print("perf_power: %s best of %d reps: %.3fs" %
+          (name, len(entry["wall_seconds_per_rep"]), entry["wall_seconds"]))
+print("perf_power: wrote %s" % os.environ["OUT"])
+EOF
