@@ -23,6 +23,7 @@
 #include "src/util/edit_distance.h"
 #include "src/driver/registry.h"
 #include "src/driver/scenario.h"
+#include "src/fault/fault_plan.h"
 
 namespace {
 
@@ -30,7 +31,8 @@ void PrintUsage(std::FILE* stream) {
   std::fprintf(stream,
                "usage: harvest_sim --scenario=NAME [--seed=N] [--scale=F] [--threads=N]\n"
                "                   [--set KEY=VALUE]... [--dump-traces=DIR] [--out=PATH]\n"
-               "       harvest_sim --list-scenarios | --list-names | --list-knobs\n"
+               "       harvest_sim --list-scenarios | --list-names | --list-knobs | "
+               "--list-faults\n"
                "\n"
                "  --scenario=NAME  registered scenario preset (see --list)\n"
                "  --seed=N         RNG seed; same seed => identical JSON (default 42)\n"
@@ -46,7 +48,8 @@ void PrintUsage(std::FILE* stream) {
                "                   (--list is the legacy spelling)\n"
                "  --list-names     list scenario names only, one per line (for scripts)\n"
                "  --list-knobs     list the knobs --set accepts and exit\n"
-               "                   (--knobs is the legacy spelling)\n");
+               "                   (--knobs is the legacy spelling)\n"
+               "  --list-faults    list the fault-plan grammar --set fault_plan=... uses\n");
 }
 
 void PrintScenarios() {
@@ -67,6 +70,17 @@ void PrintKnobs() {
   for (const auto& knob : harvest::ScenarioKnobs()) {
     std::printf("  %-30s %s\n  %30s   %s\n", knob.name, knob.syntax, "", knob.help);
   }
+}
+
+void PrintFaults() {
+  std::printf(
+      "fault-plan grammar (--set fault_plan=SPEC[+SPEC]...; times in seconds,\n"
+      "racks taken modulo the fleet's rack count; \"none\" or \"\" = no faults):\n\n");
+  for (const auto& entry : harvest::FaultGrammar()) {
+    std::printf("  %-42s %s\n", entry.syntax, entry.help);
+  }
+  std::printf(
+      "\nexample: --set fault_plan=rack_outage:7200,1,7200+telemetry_blackout:3600,7200\n");
 }
 
 // Accepts --key=value and --key value spellings; returns false on mismatch.
@@ -115,6 +129,10 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--knobs") == 0 ||
         std::strcmp(argv[i], "--list-knobs") == 0) {
       PrintKnobs();
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--list-faults") == 0) {
+      PrintFaults();
       return 0;
     }
     if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {

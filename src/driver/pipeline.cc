@@ -12,6 +12,7 @@
 #include "src/util/executor.h"
 #include "src/driver/registry.h"
 #include "src/driver/result_json.h"
+#include "src/fault/fault_plan.h"
 #include "src/jobs/tpcds.h"
 #include "src/trace/trace_source.h"
 #include "src/util/logging.h"
@@ -44,6 +45,15 @@ void WriteTraceManifest(const std::string& dir, const ScenarioConfig& config,
                      "\nscale: " + std::to_string(options.scale) + "\n";
   for (const std::string& override_text : options.overrides) {
     text += "override: " + override_text + "\n";
+  }
+  // The active fault plan, canonicalized: replaying this directory with a
+  // different plan is rejected (ValidateScenario), since the recorded fleet
+  // and the goldens derived from it assume these exact injected events.
+  {
+    FaultPlan plan;
+    std::string error;
+    HARVEST_CHECK(ParseFaultPlan(config.fault_plan, &plan, &error)) << error;
+    text += "fault_plan: " + CanonicalFaultPlan(plan) + "\n";
   }
   for (size_t i = 0; i < labels.size(); ++i) {
     text += "trace: " + TraceSource::TraceFileName(labels[i]) + "\n";
@@ -121,6 +131,13 @@ DatacenterResult RunDatacenterStages(const DcContext& ctx) {
     dc.has_availability = true;
     dc.availability = Timed(dc.timing.availability_seconds,
                             [&] { return RunAvailabilityStage(ctx, fleet.cluster); });
+  }
+  if (!ctx.config->fault_plan.empty()) {
+    dc.has_faults = true;
+    dc.faults = Timed(dc.timing.fault_seconds, [&] {
+      return RunFaultStage(ctx, fleet.cluster,
+                           dc.has_scheduling ? &dc.scheduling : nullptr);
+    });
   }
   dc.timing.total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - dc_start).count();

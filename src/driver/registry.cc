@@ -4,11 +4,13 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "src/cluster/datacenter.h"
+#include "src/fault/fault_plan.h"
 #include "src/power/price_curve.h"
 #include "src/trace/trace_source.h"
 #include "src/util/edit_distance.h"
@@ -487,6 +489,41 @@ std::vector<ScenarioKnob> MakeKnobs() {
         config.availability_utilizations = std::move(targets);
         return true;
       });
+  add("fault_plan", "'+'-separated fault specs, or none",
+      "inject faults, e.g. rack_outage:7200,1,7200 (grammar: harvest_sim --list-faults)",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        FaultPlan plan;
+        std::string detail;
+        if (!ParseFaultPlan(std::string(value), &plan, &detail)) {
+          return Fail(error, detail);
+        }
+        config.fault_plan = std::string(value);
+        return true;
+      });
+  add("forecast_fallback", "bool",
+      "degrade RM-H to live-availability placement during telemetry blackouts",
+      BoolKnob(&ScenarioConfig::forecast_fallback));
+  add("max_inflight_heals_per_shard", "int >= 0",
+      "bound on concurrent heals per NameNode shard (0 = unbounded)",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        int64_t parsed = 0;
+        if (!ParseInt64(value, &parsed, error)) {
+          return false;
+        }
+        if (parsed < 0 || parsed > 1000000) {
+          return Fail(error, "expected an integer in [0, 1000000]");
+        }
+        config.max_inflight_heals_per_shard = static_cast<int>(parsed);
+        return true;
+      });
+  add("heal_backoff_base_seconds", "double >= 0",
+      "initial retry backoff for heals that lost their source or target (0 = instant)",
+      [](ScenarioConfig& config, std::string_view value, std::string* error) {
+        return ParseNonNegativeDouble(value, &config.heal_backoff_base_seconds, error);
+      });
+  add("heal_backoff_max_seconds", "double > 0",
+      "cap on the exponential heal retry backoff",
+      PositiveDoubleKnob(&ScenarioConfig::heal_backoff_max_seconds));
   return knobs;
 }
 
@@ -551,6 +588,13 @@ std::string ValidateScenario(const ScenarioConfig& config) {
   if (!config.use_testbed && config.datacenters.empty()) {
     return "datacenters must not be empty when use_testbed=false";
   }
+  FaultPlan fault_plan;
+  {
+    std::string error;
+    if (!ParseFaultPlan(config.fault_plan, &fault_plan, &error)) {
+      return "invalid fault_plan: " + error;
+    }
+  }
   const TraceSource source = MakeTraceSource(config);
   if (source.is_replay()) {
     // Resolve every datacenter's trace file up front so a typo'd directory
@@ -562,6 +606,31 @@ std::string ValidateScenario(const ScenarioConfig& config) {
       std::string error;
       if (!source.ResolveTraceFile(label, &path, &error)) {
         return error;
+      }
+    }
+    // The recorded run's fault plan is part of what the traces (and any
+    // goldens derived from them) mean: replaying under a different plan is
+    // rejected instead of silently producing a run the capture never saw.
+    // A manifest without the line (or no manifest at all, for hand-built
+    // directories) records the fault-free era and means "none".
+    std::string resolved;
+    std::string resolve_error;
+    if (source.ResolveDirectory(&resolved, &resolve_error)) {
+      std::string recorded = "none";
+      std::ifstream manifest(resolved + "/MANIFEST.txt");
+      std::string line;
+      static constexpr std::string_view kFaultLine = "fault_plan: ";
+      while (std::getline(manifest, line)) {
+        if (line.rfind(kFaultLine, 0) == 0) {
+          recorded = line.substr(kFaultLine.size());
+          break;
+        }
+      }
+      const std::string active = CanonicalFaultPlan(fault_plan);
+      if (recorded != active) {
+        return "fault_plan mismatch: trace directory '" + config.trace_dir +
+               "' was captured with fault_plan '" + recorded + "' but this run sets '" +
+               active + "'; replay with the recorded plan or re-capture the traces";
       }
     }
   }

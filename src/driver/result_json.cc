@@ -195,6 +195,43 @@ void WriteAvailability(JsonWriter& json, const AvailabilityStageResult& availabi
   json.EndObject();
 }
 
+void WriteFaults(JsonWriter& json, const FaultStageResult& faults) {
+  json.Key("faults").BeginObject();
+  json.Field("plan", faults.plan);
+  json.Key("events").BeginArray();
+  for (const FaultEventResult& event : faults.events) {
+    json.BeginObject();
+    json.Field("kind", event.kind);
+    json.Field("start_seconds", event.start_seconds);
+    json.Field("end_seconds", event.end_seconds);
+    if (event.rack >= 0) {
+      json.Field("rack", event.rack);
+    }
+    json.Field("servers_affected", event.servers_affected);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("unavailability_server_seconds", faults.unavailability_server_seconds);
+  json.Field("blackout_seconds", faults.blackout_seconds);
+  json.Field("replication", faults.replication);
+  json.Key("cells").BeginArray();
+  for (const FaultCellResult& cell : faults.cells) {
+    json.BeginObject();
+    json.Field("placement", cell.placement);
+    json.Field("lost_blocks", cell.lost_blocks);
+    json.Field("loss_fraction", cell.loss_fraction);
+    json.Field("rereplications", cell.rereplications);
+    json.Field("heal_backlog_peak", cell.heal_backlog_peak);
+    json.Field("heal_drain_seconds", cell.heal_drain_seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("history_improvement_percent", faults.history_improvement_percent);
+  json.Field("fault_evictions", faults.fault_evictions);
+  json.Field("forecast_degraded_seconds", faults.forecast_degraded_seconds);
+  json.EndObject();
+}
+
 // The per-stage wall-clock block. Placed between "overrides" and
 // "datacenters" so the diff tooling (tests/golden_check.sh,
 // tests/thread_determinism.sh) can strip the whole object as a line range
@@ -226,6 +263,9 @@ void WriteTiming(JsonWriter& json, const ScenarioResult& result) {
     if (dc.has_availability) {
       json.Field("availability_seconds", dc.timing.availability_seconds);
     }
+    if (dc.has_faults) {
+      json.Field("fault_seconds", dc.timing.fault_seconds);
+    }
     json.Field("total_seconds", dc.timing.total_seconds);
     json.EndObject();
   }
@@ -252,6 +292,9 @@ void WriteDatacenterResult(JsonWriter& json, const DatacenterResult& dc) {
   }
   if (dc.has_availability) {
     WriteAvailability(json, dc.availability);
+  }
+  if (dc.has_faults) {
+    WriteFaults(json, dc.faults);
   }
   json.EndObject();
 }

@@ -324,13 +324,106 @@ ScenarioConfig PowerCap() {
   return config;
 }
 
+ScenarioConfig Dc9TestbedReplay() {
+  ScenarioConfig config;
+  config.name = "dc9_testbed_replay";
+  config.description =
+      "Replays the committed full-size dc9_testbed fleet (102 servers, 21 DC-9 "
+      "tenants, captured with --dump-traces at --scale=1 seed 42) through the same "
+      "4-hour TPC-DS scheduling co-simulation against HDFS-H storage. The golden "
+      "plus the CI assert pin the full-size H-vs-PT gap the scaled smoke runs mask, "
+      "the same treatment week_horizon_replay gives its fleet.";
+  config.trace_dir = "tests/traces/dc9_testbed_replay";
+  // Provenance of the capture; a replayed fleet ignores these generator
+  // knobs except trace_slots, which is validated against the file.
+  config.use_testbed = true;
+  config.testbed_servers = 102;
+  config.trace_slots = kSlotsPerDay * 2;
+  config.reimage_months = 12;
+  config.run_scheduling = true;
+  config.scheduling_horizon_seconds = 4.0 * 3600.0;
+  config.mean_interarrival_seconds = 300.0;
+  config.scheduling_storage = StorageVariant::kHistory;
+  config.run_durability = false;
+  config.run_availability = false;
+  return config;
+}
+
+// Shared base of the three fault-injection presets: the 102-server testbed
+// (one rack per tenant, 4-5 servers each, so rack-scoped faults hit ~5% of
+// the fleet) with heal-storm backpressure enabled -- 4 in-flight heals per
+// NameNode shard, 10-minute base retry backoff doubling to a 2-hour cap.
+ScenarioConfig FaultPresetBase() {
+  ScenarioConfig config;
+  config.use_testbed = true;
+  config.testbed_servers = 102;
+  config.trace_slots = kSlotsPerDay * 2;
+  config.reimage_months = 12;
+  config.run_scheduling = true;
+  config.mean_interarrival_seconds = 300.0;
+  config.scheduling_storage = StorageVariant::kNone;
+  config.scheduling_target_utilization = 0.45;
+  config.storage_blocks = 8000;
+  config.replications = {3};
+  config.run_durability = false;
+  config.run_availability = false;
+  config.max_inflight_heals_per_shard = 4;
+  config.heal_backoff_base_seconds = 600.0;
+  config.heal_backoff_max_seconds = 7200.0;
+  return config;
+}
+
+ScenarioConfig RackOutage() {
+  ScenarioConfig config = FaultPresetBase();
+  config.name = "rack_outage";
+  config.description =
+      "Correlated rack power loss on the DC-9 testbed: rack 1 (one tenant's five "
+      "servers) vanishes two hours in and returns reimaged two hours later. The "
+      "scheduler "
+      "evicts and requeues the rack's containers; the fault-aware storage "
+      "co-simulation reports the Stock-vs-H replica loss and the bounded heal "
+      "backlog's peak and drain time under backpressure.";
+  config.scheduling_horizon_seconds = 6.0 * 3600.0;
+  config.fault_plan = "rack_outage:7200,1,7200";
+  return config;
+}
+
+ScenarioConfig TelemetryBlackout() {
+  ScenarioConfig config = FaultPresetBase();
+  config.name = "telemetry_blackout";
+  config.description =
+      "Telemetry blackout on the DC-9 testbed: the first three hours of history "
+      "are dark, so one day later RM-H's day-ago forecast windows read missing "
+      "data and H gracefully degrades to live-availability placement for the "
+      "blacked-out interval. The 30-hour horizon covers the degraded window; the "
+      "faults block reports degraded seconds and the H-vs-PT delta under fault.";
+  config.scheduling_horizon_seconds = 30.0 * 3600.0;
+  config.fault_plan = "telemetry_blackout:3600,10800";
+  return config;
+}
+
+ScenarioConfig PartitionHealStorm() {
+  ScenarioConfig config = FaultPresetBase();
+  config.name = "partition_heal_storm";
+  config.description =
+      "ToR partition plus a correlated reimage wave on the DC-9 testbed: rack 2 "
+      "computes but is invisible to replication for three hours while 30% of the "
+      "fleet reimages within 30 minutes -- a heal storm against a partitioned "
+      "source rack. Exercises the per-shard in-flight heal budget, exponential "
+      "retry backoff, and mid-heal source/target death requeues.";
+  config.scheduling_horizon_seconds = 4.0 * 3600.0;
+  config.fault_plan = "tor_partition:3600,2,10800+reimage_wave:3600,0.3,1800";
+  return config;
+}
+
 }  // namespace
 
 std::vector<ScenarioConfig> BuiltinScenarioList() {
-  return {Dc9Testbed(),        FleetSweep(),       ReimageStorm(),
-          HeteroShapes(),      WeekHorizon(),      StormUnderLoad(),
-          StorageStress(),     ReplayRegression(), WeekHorizonReplay(),
-          DiurnalPricing(),    PowerCap()};
+  return {Dc9Testbed(),        FleetSweep(),        ReimageStorm(),
+          HeteroShapes(),      WeekHorizon(),       StormUnderLoad(),
+          StorageStress(),     ReplayRegression(),  WeekHorizonReplay(),
+          DiurnalPricing(),    PowerCap(),          Dc9TestbedReplay(),
+          RackOutage(),        TelemetryBlackout(), PartitionHealStorm()};
 }
 
 TraceSource MakeTraceSource(const ScenarioConfig& config) {

@@ -127,6 +127,24 @@ struct ScenarioConfig {
   // and tests/shard_determinism.sh enforces byte-identity across values.
   int rm_shards = 0;
   int nn_shards = 0;
+
+  // --- Fault injection (src/fault) ----------------------------------------
+  // Fault plan text: '+'-separated specs like "rack_outage:7200,1,7200"
+  // ("" or "none" = fault-free; `harvest_sim --list-faults` prints the
+  // grammar). A non-empty plan compiles to one FaultTimeline per DC from
+  // the "fault" stream seed, drives degraded intervals inside the
+  // scheduling co-simulation, and appends the FaultStage / "faults" JSON
+  // block with fault-aware storage co-simulations.
+  std::string fault_plan;
+  // Graceful RM-H degradation during telemetry blackouts: fall back to
+  // live-availability placement while the day-ago forecast window is dark.
+  bool forecast_fallback = true;
+  // NameNode heal-storm backpressure: per-shard bound on in-flight heals
+  // (0 = unbounded, the legacy behavior) and exponential retry backoff
+  // bounds (base 0 = instant retry).
+  int max_inflight_heals_per_shard = 0;
+  double heal_backoff_base_seconds = 0.0;
+  double heal_backoff_max_seconds = 7200.0;
 };
 
 // The built-in preset definitions, in stable order. Consumed once by the

@@ -2,7 +2,7 @@
 // for one datacenter is a fixed sequence of typed stages
 //
 //   FleetBuild -> Clustering -> Scheduling -> Power -> PlacementAudit
-//               -> Durability -> Availability
+//               -> Durability -> Availability -> Fault
 //
 // each a pure function of a DcContext (the scaled scenario config, the
 // datacenter label/index, and an independently derived RNG stream) returning
@@ -133,6 +133,11 @@ struct SchedulingRunResult {
   // Energy / cost ledger from the run's accountant (power_accounting only).
   bool has_energy = false;
   EnergyTotals energy;
+  // Fault-subsystem telemetry (fault_plan scenarios only). Carried here so
+  // the FaultStage can report it; rendered in the "faults" block, not in the
+  // scheduling results.
+  int64_t fault_evictions = 0;
+  double forecast_degraded_seconds = 0.0;
 };
 
 // Per-class diagnostics of the H run (src/experiments ClassSchedulingDiagnostics,
@@ -265,6 +270,55 @@ struct AvailabilityStageResult {
 
 AvailabilityStageResult RunAvailabilityStage(const DcContext& ctx, const Cluster& cluster);
 
+// --- FaultStage -----------------------------------------------------------
+// Fault injection (src/fault): compiles the scenario's fault_plan against
+// this DC's fleet from the "fault" stream seed -- the same seed the
+// scheduling stage compiles its copy from, so the two views of the plan are
+// identical -- and replays a fault-aware storage co-simulation (Stock vs H)
+// under the injected outages, partitions, and reimage waves. Runs last, only
+// when a plan is set.
+
+// One injected fault event, flattened for the JSON "faults" block.
+struct FaultEventResult {
+  std::string kind;        // FaultKindName
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+  int64_t rack = -1;       // -1 when the event is not rack-scoped
+  int64_t servers_affected = 0;
+};
+
+// One placement flavor's storage co-simulation under the fault timeline.
+struct FaultCellResult {
+  std::string placement;  // PlacementKindName
+  int64_t lost_blocks = 0;
+  double loss_fraction = 0.0;
+  int64_t rereplications = 0;
+  int64_t heal_backlog_peak = 0;
+  // Seconds from the first fault event to the heal that emptied the backlog
+  // (0 when the backlog never filled).
+  double heal_drain_seconds = 0.0;
+};
+
+struct FaultStageResult {
+  std::string plan;  // canonical fault-plan text
+  std::vector<FaultEventResult> events;
+  // Integral of down servers over the horizon (server-seconds of injected
+  // unavailability), and total telemetry-blackout seconds.
+  double unavailability_server_seconds = 0.0;
+  double blackout_seconds = 0.0;
+  int replication = 3;
+  std::vector<FaultCellResult> cells;  // kStock then kHistory
+  // Degradation telemetry copied from the scheduling stage's fault-aware H
+  // run: the H-vs-PT delta under fault, containers lost to outages, and how
+  // long H ran with history weighting suspended.
+  double history_improvement_percent = 0.0;
+  int64_t fault_evictions = 0;
+  double forecast_degraded_seconds = 0.0;
+};
+
+FaultStageResult RunFaultStage(const DcContext& ctx, const Cluster& cluster,
+                               const SchedulingStageResult* scheduling);
+
 // --- Composition ----------------------------------------------------------
 
 // Wall-clock seconds per stage of one datacenter's pipeline. Pure telemetry:
@@ -282,6 +336,7 @@ struct DcStageTiming {
   double placement_seconds = 0.0;
   double durability_seconds = 0.0;
   double availability_seconds = 0.0;
+  double fault_seconds = 0.0;
   double total_seconds = 0.0;
 };
 
@@ -298,6 +353,8 @@ struct DatacenterResult {
   DurabilityStageResult durability;
   bool has_availability = false;
   AvailabilityStageResult availability;
+  bool has_faults = false;
+  FaultStageResult faults;
   DcStageTiming timing;
 };
 
@@ -318,9 +375,10 @@ struct RunTiming {
 // Schema v3 made the storage experiments grid objects (axes + cells) with
 // the full placement-kind coverage; v4 adds workload provenance
 // ("trace_source": synthetic vs replay); v5 adds the per-DC "energy" block
-// (power_accounting scenarios only).
+// (power_accounting scenarios only); v6 adds the per-DC "faults" block
+// (fault_plan scenarios only).
 struct ScenarioResult {
-  int schema_version = 5;
+  int schema_version = 6;
   std::string scenario;
   std::string description;
   uint64_t seed = 0;

@@ -6,6 +6,7 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <tuple>
 #include <unordered_map>
 
 #include "src/core/utilization_clustering.h"
@@ -71,6 +72,23 @@ class SchedulingSimulation {
       rightsizing.park_threshold = options.park_threshold;
       rm_.ConfigureRightSizing(rightsizing);
     }
+    if (options.faults != nullptr && !options.faults->down.empty()) {
+      // Flatten the down intervals into a sorted transition list; a per-server
+      // depth counter makes overlapping intervals (rack outage inside a DC
+      // outage) compose correctly. Recovery sorts before failure at the same
+      // instant so abutting intervals do not double-toggle.
+      fault_transitions_.reserve(options.faults->down.size() * 2);
+      for (const ServerDownInterval& interval : options.faults->down) {
+        fault_transitions_.push_back({interval.start, interval.server, +1});
+        fault_transitions_.push_back({interval.end, interval.server, -1});
+      }
+      std::sort(fault_transitions_.begin(), fault_transitions_.end(),
+                [](const FaultTransition& a, const FaultTransition& b) {
+                  return std::tie(a.time, a.server, a.delta) <
+                         std::tie(b.time, b.server, b.delta);
+                });
+      server_down_depth_.assign(cluster_.num_servers(), 0);
+    }
   }
 
   SchedulingSimResult Run() {
@@ -89,6 +107,13 @@ class SchedulingSimulation {
     JobId job = 0;
     int stage = 0;
     Container container;
+  };
+
+  // One edge of a server down interval: +1 enters an outage, -1 leaves one.
+  struct FaultTransition {
+    double time = 0.0;
+    ServerId server = kInvalidServer;
+    int delta = 0;
   };
 
   struct ActiveJob {
@@ -313,6 +338,17 @@ class SchedulingSimulation {
       double medium_peak = -1.0;
       double long_peak = -1.0;
       for (int i = 0; i < long_samples; ++i) {
+        // A telemetry blackout means the day-ago samples simply do not
+        // exist; skipping them (rather than reading zeros) leaves a class
+        // whose whole window is dark at peak -1, which the selector already
+        // treats as "no usable history" -- the same graceful fallback as a
+        // trace-less class. Clamp mirrors ForecastSampleAt's convention.
+        if (options_.faults != nullptr && options_.forecast_fallback &&
+            options_.faults->InBlackout(
+                static_cast<double>(std::max<int64_t>(0, start_slot + i)) *
+                kSlotSeconds)) {
+          continue;
+        }
         double slot_sum = 0.0;
         size_t counted = 0;
         for (TenantId t : cls.tenants) {
@@ -564,8 +600,66 @@ class SchedulingSimulation {
     }
   }
 
+  // Applies every fault transition due by `now` (tick granularity: the
+  // coarsened NM-heartbeat cadence at which the RM would observe a lost
+  // server in the real system). Containers on a failing server are evicted
+  // and returned to their AMs exactly like reserve kills -- same accounting
+  // path -- except they are attributed to fault_evictions, not to the
+  // pattern / class kill diagnostics the ranking-weight ablation reads.
+  void ProcessFaultTransitions(double now) {
+    while (fault_cursor_ < fault_transitions_.size() &&
+           fault_transitions_[fault_cursor_].time <= now) {
+      const FaultTransition& transition = fault_transitions_[fault_cursor_++];
+      const size_t i = static_cast<size_t>(transition.server);
+      const int before = server_down_depth_[i];
+      server_down_depth_[i] = before + transition.delta;
+      const bool was_down = before > 0;
+      const bool is_down = server_down_depth_[i] > 0;
+      if (was_down == is_down) {
+        continue;  // nested interval; the outer one already holds the server
+      }
+      std::vector<Container> evicted = rm_.SetServerDown(transition.server, is_down);
+      for (const Container& container : evicted) {
+        auto it = running_.find(container.id);
+        if (it == running_.end()) {
+          continue;
+        }
+        RunningTask task = it->second;
+        running_.erase(it);
+        if (accountant_) {
+          accountant_->OnContainerEnd(container.resources.cores, container.start_time,
+                                      now);
+        }
+        jobs_.at(task.job).am->OnTaskKilled(task.stage);
+        pending_.insert(task.job);
+        ++window_kills_[container.server];
+        ++fault_evictions_;
+      }
+    }
+  }
+
   void Tick() {
     const double now = queue_.now();
+    // Fault transitions land first: a server that died during the elapsed
+    // interval is gone before reserves are enforced or retries placed on it.
+    if (!fault_transitions_.empty()) {
+      ProcessFaultTransitions(now);
+    }
+    // Telemetry-blackout degradation: when the day-ago window RM-H placement
+    // reads (ForecastStartSlot .. +2*kMinForecastWindowSeconds, the long-job
+    // horizon) overlaps a blackout, history weighting is suspended and H
+    // places on live availability only -- Algorithm 1's graceful fallback.
+    if (options_.faults != nullptr && options_.forecast_fallback &&
+        options_.mode == SchedulerMode::kHistory) {
+      const double window_start =
+          now - static_cast<double>(kSlotsPerDay) * kSlotSeconds;
+      const bool degraded = options_.faults->OverlapsBlackout(
+          window_start, window_start + 2.0 * kMinForecastWindowSeconds);
+      rm_.SetForecastDegraded(degraded);
+      if (degraded) {
+        forecast_degraded_seconds_ += options_.tick_seconds;
+      }
+    }
     // 0. Energy: integrate the interval that just elapsed under the parked
     // state in force during it (parking transitions happen at the END of a
     // tick, so the counts set then cover [now - tick, now) -- placement
@@ -665,6 +759,8 @@ class SchedulingSimulation {
       result_.storage = name_node_->stats();
     }
     result_.rm_arena_high_water_bytes = rm_.arena_high_water_bytes();
+    result_.fault_evictions = fault_evictions_;
+    result_.forecast_degraded_seconds = forecast_degraded_seconds_;
     if (accountant_) {
       // Close out still-running containers at the horizon, in container-id
       // order (every placed container ends exactly once).
@@ -730,6 +826,14 @@ class SchedulingSimulation {
   int64_t defer_curve_slot_ = std::numeric_limits<int64_t>::min();
   int64_t deferred_jobs_ = 0;
   double deferred_seconds_ = 0.0;
+  // Fault subsystem: server down-interval edges in time order, a per-server
+  // nesting depth (overlapping intervals compose), and the cursor of the
+  // next unapplied edge. Empty in fault-free runs.
+  std::vector<FaultTransition> fault_transitions_;
+  std::vector<int> server_down_depth_;
+  size_t fault_cursor_ = 0;
+  int64_t fault_evictions_ = 0;
+  double forecast_degraded_seconds_ = 0.0;
   std::unordered_map<ServerId, int> window_kills_;
   int64_t window_interfering_ = 0;
   double utilization_sum_ = 0.0;

@@ -15,6 +15,7 @@
 #include "src/cluster/cluster.h"
 #include "src/core/class_selector.h"
 #include "src/core/job_history.h"
+#include "src/fault/fault_plan.h"
 #include "src/jobs/dag.h"
 #include "src/jobs/workload.h"
 #include "src/latency/service_model.h"
@@ -85,6 +86,17 @@ struct SchedulingSimOptions {
   double defer_window_hours = 6.0;
   double defer_min_gain = 0.02;
   double power_cap_watts = 0.0;  // 0 = no cap telemetry / cap-forced deferral
+  // --- Fault subsystem (src/fault) -----------------------------------------
+  // Compiled fault timeline, or nullptr for a fault-free run (the default:
+  // every existing scenario is byte-identical). Not owned; must outlive the
+  // simulation. Server down intervals evict containers and zero the server's
+  // availability; telemetry blackouts hide day-ago history windows.
+  const FaultTimeline* faults = nullptr;
+  // Graceful degradation: while the day-ago forecast window overlaps a
+  // telemetry blackout, RM-H drops history weighting and places on live
+  // availability only (and class forecasts skip blacked-out samples).
+  // Disable to measure how H behaves when it trusts missing history.
+  bool forecast_fallback = true;
   uint64_t seed = 1;
 };
 
@@ -146,6 +158,11 @@ struct SchedulingSimResult {
   // Energy / cost ledger (power_accounting runs only).
   bool has_energy = false;
   EnergyTotals energy;
+  // Fault subsystem telemetry (zero in fault-free runs): containers evicted
+  // by server down transitions, and how long RM-H ran with history weighting
+  // disabled because the day-ago window overlapped a telemetry blackout.
+  int64_t fault_evictions = 0;
+  double forecast_degraded_seconds = 0.0;
 };
 
 SchedulingSimResult RunSchedulingSimulation(const Cluster& cluster,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
+#include <tuple>
 
 #include "src/sim/event_queue.h"
 #include "src/util/logging.h"
@@ -73,7 +75,8 @@ std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementKind kind,
 }
 
 StorageTimeline BuildStorageTimeline(const Cluster& cluster,
-                                     const StorageTimelineOptions& options) {
+                                     const StorageTimelineOptions& options,
+                                     const FaultTimeline* faults) {
   StorageTimeline timeline;
   timeline.horizon_seconds =
       std::max(options.reimage_horizon_seconds, options.access_horizon_seconds);
@@ -86,8 +89,25 @@ StorageTimeline BuildStorageTimeline(const Cluster& cluster,
         }
       }
     }
-    std::sort(timeline.reimages.begin(), timeline.reimages.end());
   }
+  if (faults != nullptr && !faults->empty()) {
+    // A down interval is a paired wipe: replicas vanish when the power does,
+    // and the server re-joins reimaged (anything healed *onto* it mid-outage
+    // is void). Wave reimages are ordinary reimages at their drawn times.
+    for (const ServerDownInterval& interval : faults->down) {
+      timeline.reimages.emplace_back(interval.start, interval.server);
+      timeline.reimages.emplace_back(interval.end, interval.server);
+      timeline.horizon_seconds = std::max(timeline.horizon_seconds, interval.end);
+    }
+    for (const WaveReimage& wave : faults->wave_reimages) {
+      timeline.reimages.emplace_back(wave.time, wave.server);
+      timeline.horizon_seconds = std::max(timeline.horizon_seconds, wave.time);
+    }
+    for (const RackPartitionInterval& partition : faults->partitions) {
+      timeline.horizon_seconds = std::max(timeline.horizon_seconds, partition.end);
+    }
+  }
+  std::sort(timeline.reimages.begin(), timeline.reimages.end());
 
   Rng rng(options.access_seed);
   if (options.uniform_accesses > 0 && options.access_horizon_seconds > 0.0) {
@@ -127,6 +147,9 @@ StorageCosimResult RunStorageCosim(const Cluster& cluster, const StorageTimeline
   nn_options.detection_delay_seconds = options.detection_delay_seconds;
   nn_options.rereplication_blocks_per_hour = options.rereplication_blocks_per_hour;
   nn_options.shards = options.nn_shards;
+  nn_options.max_inflight_heals_per_shard = options.max_inflight_heals_per_shard;
+  nn_options.heal_backoff_base_seconds = options.heal_backoff_base_seconds;
+  nn_options.heal_backoff_max_seconds = options.heal_backoff_max_seconds;
   NameNode name_node(&cluster, MakePlacementPolicy(options.placement, &cluster), nn_options,
                      &policy_rng);
 
@@ -149,14 +172,58 @@ StorageCosimResult RunStorageCosim(const Cluster& cluster, const StorageTimeline
   // NameNode's own completion-time queue, drained up to `now` at every
   // event. The callback captures one pointer, so every re-schedule copies a
   // small-buffer std::function -- no per-event allocation.
+  // ToR partition edges in time order: +1 enters a partition, -1 leaves it.
+  // A per-rack depth counter composes overlapping intervals.
+  struct RackTransition {
+    double time = 0.0;
+    RackId rack = 0;
+    int delta = 0;
+  };
+  std::vector<RackTransition> partition_edges;
+  std::vector<int> rack_depth;
+  if (options.faults != nullptr && !options.faults->partitions.empty()) {
+    RackId max_rack = 0;
+    for (const RackPartitionInterval& partition : options.faults->partitions) {
+      partition_edges.push_back({partition.start, partition.rack, +1});
+      partition_edges.push_back({partition.end, partition.rack, -1});
+      max_rack = std::max(max_rack, partition.rack);
+    }
+    std::sort(partition_edges.begin(), partition_edges.end(),
+              [](const RackTransition& a, const RackTransition& b) {
+                return std::tie(a.time, a.rack, a.delta) <
+                       std::tie(b.time, b.rack, b.delta);
+              });
+    rack_depth.assign(static_cast<size_t>(max_rack) + 1, 0);
+  }
+
   struct Replay {
     const StorageTimeline* timeline;
     NameNode* name_node;
     EventQueue* queue;
     StorageCosimResult* result;
     uint64_t live_blocks;
+    std::vector<RackTransition>* partition_edges = nullptr;
+    std::vector<int>* rack_depth = nullptr;
     size_t reimage_cursor = 0;
     size_t access_cursor = 0;
+    size_t partition_cursor = 0;
+
+    // Applies every partition edge due by `now`. Edges tied with a timeline
+    // event apply first -- the oracle's dense reference mirrors this order.
+    void ApplyPartitionsThrough(double now) {
+      while (partition_cursor < partition_edges->size() &&
+             (*partition_edges)[partition_cursor].time <= now) {
+        const RackTransition& edge = (*partition_edges)[partition_cursor++];
+        const size_t r = static_cast<size_t>(edge.rack);
+        const int before = (*rack_depth)[r];
+        (*rack_depth)[r] = before + edge.delta;
+        const bool was = before > 0;
+        const bool is = (*rack_depth)[r] > 0;
+        if (was != is) {
+          name_node->SetRackPartitioned(edge.rack, is, edge.time);
+        }
+      }
+    }
 
     bool Done() const {
       return reimage_cursor >= timeline->reimages.size() &&
@@ -173,6 +240,9 @@ StorageCosimResult RunStorageCosim(const Cluster& cluster, const StorageTimeline
                           : timeline->accesses[access_cursor].time_seconds;
     }
     void RunNext() {
+      if (partition_edges != nullptr) {
+        ApplyPartitionsThrough(NextTime());
+      }
       const bool have_access = access_cursor < timeline->accesses.size();
       const bool reimage_first =
           reimage_cursor < timeline->reimages.size() &&
@@ -197,11 +267,19 @@ StorageCosimResult RunStorageCosim(const Cluster& cluster, const StorageTimeline
   };
   EventQueue queue;
   StorageCosimResult result;
-  Replay replay{&timeline, &name_node, &queue, &result, live_blocks};
+  Replay replay{&timeline, &name_node, &queue,
+                &result,   live_blocks, partition_edges.empty() ? nullptr : &partition_edges,
+                partition_edges.empty() ? nullptr : &rack_depth};
   if (!replay.Done()) {
     queue.Schedule(replay.NextTime(), [&replay] { replay.RunNext(); });
   }
   queue.RunUntil(timeline.horizon_seconds);
+  // Partition edges past the last timeline event still gate the drain: a
+  // partition must lift at its own time before retried heals can pick the
+  // rack's servers again.
+  if (!partition_edges.empty()) {
+    replay.ApplyPartitionsThrough(std::numeric_limits<double>::infinity());
+  }
   // Let the tail of the re-replication queue drain.
   name_node.ProcessRereplication(timeline.horizon_seconds + 30.0 * 24.0 * 3600.0);
 
@@ -209,6 +287,8 @@ StorageCosimResult RunStorageCosim(const Cluster& cluster, const StorageTimeline
   result.lost_percent = 100.0 * result.stats.LossFraction();
   result.failed_access_percent = 100.0 * result.stats.FailedAccessFraction();
   result.under_replicated_blocks = name_node.UnderReplicatedBlocks();
+  result.heal_backlog_peak = name_node.heal_backlog_peak();
+  result.heal_backlog_cleared_at = name_node.heal_backlog_cleared_at();
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/fault/fault_plan.h"
 #include "src/storage/name_node.h"
 
 namespace harvest {
@@ -75,8 +76,15 @@ struct StorageTimelineOptions {
   uint64_t access_seed = 1;
 };
 
+// `faults` (optional) merges the compiled fault timeline into the reimage
+// stream: a server down interval wipes its replicas at the outage start and
+// again at the end (the server comes back reimaged, so heals that targeted
+// it mid-outage are void), and reimage waves land as plain reimages. The
+// horizon stretches to cover the last fault edge. nullptr = the legacy
+// timeline, byte-identical to before faults existed.
 StorageTimeline BuildStorageTimeline(const Cluster& cluster,
-                                     const StorageTimelineOptions& options);
+                                     const StorageTimelineOptions& options,
+                                     const FaultTimeline* faults = nullptr);
 
 // --- One grid cell --------------------------------------------------------
 
@@ -94,6 +102,17 @@ struct StorageCosimOptions {
   // NameNode accounting shards (0 = auto from fleet size). Execution layout
   // only: byte-identical results for any value.
   int nn_shards = 0;
+  // Compiled fault timeline (not owned; must outlive the run), or nullptr
+  // for a fault-free cell. The timeline's partitions are applied in replay
+  // time order; its reimages must already be merged into the shared
+  // StorageTimeline (BuildStorageTimeline does both from the same pointer).
+  const FaultTimeline* faults = nullptr;
+  // Heal-storm backpressure mirrors of NameNodeOptions (see name_node.h):
+  // bounded in-flight heals per shard with exponential retry backoff. The
+  // defaults keep the legacy unbounded / instant-retry behavior.
+  int max_inflight_heals_per_shard = 0;
+  double heal_backoff_base_seconds = 0.0;
+  double heal_backoff_max_seconds = 7200.0;
 };
 
 struct StorageCosimResult {
@@ -102,6 +121,11 @@ struct StorageCosimResult {
   double failed_access_percent = 0.0;
   int64_t under_replicated_blocks = 0;
   int64_t reimage_events = 0;
+  // Heal-queue drain curve (fault runs): the deepest the pending-heal
+  // backlog ever got, and the completion time of the heal that last emptied
+  // it (0 when the queue never filled).
+  int64_t heal_backlog_peak = 0;
+  double heal_backlog_cleared_at = 0.0;
 };
 
 // Replays `timeline` event-driven against a fresh namespace of

@@ -110,6 +110,13 @@ std::vector<Container> NodeManager::EnforceReserve(double t) {
   return killed;
 }
 
+std::vector<Container> NodeManager::RemoveAllContainers() {
+  std::vector<Container> evicted = std::move(containers_);
+  containers_.clear();
+  allocated_ = Resources{0, 0};
+  return evicted;
+}
+
 int NodeManager::OvercommitCores(double t) const {
   int primary_cores = PrimaryCores(t);
   return std::max(0, primary_cores + allocated_.cores - server_->capacity.cores);

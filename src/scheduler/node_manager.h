@@ -100,6 +100,10 @@ class NodeManager {
   // Returns the killed containers (AMs must re-run their tasks).
   std::vector<Container> EnforceReserve(double t);
 
+  // Evicts everything at once (server power loss in the fault subsystem).
+  // Returns the evicted containers; the node is left empty.
+  std::vector<Container> RemoveAllContainers();
+
   // Cores by which primary + secondary exceed capacity at `t` (only possible
   // in Stock mode); drives the interference model of Figures 10 and 12.
   int OvercommitCores(double t) const;

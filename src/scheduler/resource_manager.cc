@@ -204,7 +204,10 @@ int64_t ResourceManager::NodeWeight(ServerId s) const {
     return 0;
   }
   int64_t weight = avail.cores;
-  if (profile_.history_aware &&
+  // Telemetry blackout: the day-ago window behind the forecast is missing,
+  // so the eligibility bonus is suppressed and H degrades to the PT-style
+  // live-room balance instead of trusting stale history.
+  if (profile_.history_aware && !forecast_degraded_ &&
       nodes_[i]
           .AvailableForTaskGiven(node_primary_cores_[i], node_forecast_cores_[i])
           .Fits(profile_.shape)) {
@@ -244,9 +247,10 @@ void ResourceManager::RebuildAvailabilityAndWeights() const {
     }
     int64_t* partial = partials + static_cast<size_t>(shard) * static_cast<size_t>(num_classes_);
     for (size_t s = begin; s < end; ++s) {
-      // A parked server reports no room at all: weight 0 in every sampler
-      // (Resources{0,0} fits no shape) and nothing in the class aggregates.
-      node_avail_[s] = IsParked(static_cast<ServerId>(s))
+      // A parked or down server reports no room at all: weight 0 in every
+      // sampler (Resources{0,0} fits no shape) and nothing in the class
+      // aggregates.
+      node_avail_[s] = IsUnavailable(static_cast<ServerId>(s))
                            ? Resources{0, 0}
                            : nodes_[s].AvailableForSecondaryGiven(node_primary_cores_[s]);
       int c = server_class_[s];
@@ -304,8 +308,9 @@ void ResourceManager::ResyncNode(ServerId s) {
     return;  // nothing cached yet; the next EnsureSlot rebuilds everything
   }
   const size_t i = static_cast<size_t>(s);
-  Resources avail = IsParked(s) ? Resources{0, 0}
-                                : nodes_[i].AvailableForSecondaryGiven(node_primary_cores_[i]);
+  Resources avail = IsUnavailable(s)
+                        ? Resources{0, 0}
+                        : nodes_[i].AvailableForSecondaryGiven(node_primary_cores_[i]);
   int c = server_class_[i];
   if (c >= 0 && c < num_classes_) {
     class_avail_cores_[static_cast<size_t>(c)] += avail.cores - node_avail_[i].cores;
@@ -461,7 +466,7 @@ void ResourceManager::UnparkServer(ServerId s) {
 }
 
 void ResourceManager::MaybeParkOnDrain(ServerId s) {
-  if (!rightsizing_.enabled || parked_[static_cast<size_t>(s)] != 0) {
+  if (!rightsizing_.enabled || parked_[static_cast<size_t>(s)] != 0 || IsDown(s)) {
     return;
   }
   const int32_t trace = table_.trace_index()[static_cast<size_t>(s)];
@@ -515,11 +520,45 @@ void ResourceManager::UpdateParking(double t) {
         ++parking_stats_.forced_unparks;  // live demand beat the forecast
       }
       ResyncNode(static_cast<ServerId>(s));
-    } else if (parked_[s] == 0 && parkable && nodes_[s].idle()) {
+    } else if (parked_[s] == 0 && parkable && nodes_[s].idle() &&
+               !IsDown(static_cast<ServerId>(s))) {
+      // A down server is already invisible to placement; parking it would
+      // double-count the unavailability and bill a fault as a policy win.
       ParkServer(static_cast<ServerId>(s));
       ResyncNode(static_cast<ServerId>(s));
     }
   }
+}
+
+std::vector<Container> ResourceManager::SetServerDown(ServerId s, bool is_down) {
+  std::vector<Container> evicted;
+  if (down_.empty()) {
+    down_.assign(nodes_.size(), 0);
+  }
+  const size_t i = static_cast<size_t>(s);
+  if ((down_[i] != 0) == is_down) {
+    return evicted;  // no transition
+  }
+  down_[i] = is_down ? 1 : 0;
+  down_count_ += is_down ? 1 : -1;
+  if (is_down && !nodes_[i].idle()) {
+    // Power loss kills everything the node hosts; the caller accounts the
+    // evictions (AM retries, pending re-queue) like reserve kills.
+    evicted = nodes_[i].RemoveAllContainers();
+    active_.erase(s);
+  }
+  ResyncNode(s);
+  return evicted;
+}
+
+void ResourceManager::SetForecastDegraded(bool degraded) {
+  if (forecast_degraded_ == degraded) {
+    return;
+  }
+  forecast_degraded_ = degraded;
+  // Every cached weight embeds the bonus gate; force a full rebuild at the
+  // next query.
+  cached_slot_ = kNoSlot;
 }
 
 double ResourceManager::ClassCurrentUtilization(int class_id, double t) const {
@@ -602,6 +641,23 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
       return fail("per-group parked counts out of sync");
     }
   }
+  if (!down_.empty()) {
+    // Fault bookkeeping: down implies idle (SetServerDown evicted the node),
+    // and the counter must match a dense recount of the bits.
+    int64_t down_total = 0;
+    for (size_t s = 0; s < nodes_.size(); ++s) {
+      if (down_[s] == 0) {
+        continue;
+      }
+      if (!nodes_[s].idle()) {
+        return fail("down server " + std::to_string(s) + " hosts containers");
+      }
+      ++down_total;
+    }
+    if (down_total != down_count_) {
+      return fail("down count out of sync");
+    }
+  }
   if (cached_slot_ == kNoSlot) {
     return true;  // nothing cached yet
   }
@@ -609,12 +665,12 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
   int64_t weight_total = 0;
   for (size_t s = 0; s < nodes_.size(); ++s) {
     const NodeManager& node = nodes_[s];
-    const bool parked = IsParked(static_cast<ServerId>(s));
+    const bool unavailable = IsUnavailable(static_cast<ServerId>(s));
     const std::string at = " for server " + std::to_string(s);
     if (node.PrimaryCores(t) != node_primary_cores_[s]) {
       return fail("stale primary cores" + at);
     }
-    if ((parked ? Resources{0, 0} : node.AvailableForSecondary(t)) != node_avail_[s]) {
+    if ((unavailable ? Resources{0, 0} : node.AvailableForSecondary(t)) != node_avail_[s]) {
       return fail("stale availability" + at);
     }
     if (!profile_.valid) {
@@ -628,10 +684,10 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
     // room, boosted when the history forecast says this shape survives here
     // (the eligibility filter of NodeWeight).
     int64_t expected = 0;
-    Resources room = parked ? Resources{0, 0} : node.AvailableForSecondary(t);
+    Resources room = unavailable ? Resources{0, 0} : node.AvailableForSecondary(t);
     if (room.Fits(profile_.shape)) {
       expected = room.cores;
-      if (profile_.history_aware &&
+      if (profile_.history_aware && !forecast_degraded_ &&
           node.AvailableForTask(t, profile_.window_seconds).Fits(profile_.shape)) {
         expected += kTypeRoomBonus * room.cores;
       }
@@ -655,7 +711,7 @@ bool ResourceManager::AuditCachesForTest(std::string* error) const {
     int64_t class_weight = 0;
     for (size_t i = 0; i < servers.size(); ++i) {
       const size_t s = static_cast<size_t>(servers[i]);
-      cores += IsParked(servers[i]) ? 0 : nodes_[s].AvailableForSecondary(t).cores;
+      cores += IsUnavailable(servers[i]) ? 0 : nodes_[s].AvailableForSecondary(t).cores;
       if (profile_.valid) {
         if (picker.PrefixSum(i + 1) - picker.PrefixSum(i) != node_weight_[s]) {
           return fail("class Fenwick out of sync" + at);

@@ -150,6 +150,27 @@ class ResourceManager {
   bool IsParked(ServerId s) const {
     return rightsizing_.enabled && parked_[static_cast<size_t>(s)] != 0;
   }
+
+  // --- Fault injection (src/fault: correlated server loss, stale history) --
+  // Marks a server down (power loss) or back up. A down server's cached
+  // availability is {0, 0} -- weight 0 in every sampler, excluded from class
+  // aggregates, never parked -- exactly the parked-server treatment, but
+  // driven by the fault timeline instead of the parking policy. Going down
+  // evicts everything the node hosts; the evicted containers are returned so
+  // the caller can account the kills (they are NOT added to total_kills_
+  // here -- fault evictions are reported separately). No-op (empty return)
+  // when the state does not change.
+  std::vector<Container> SetServerDown(ServerId s, bool is_down);
+  bool IsDown(ServerId s) const {
+    return !down_.empty() && down_[static_cast<size_t>(s)] != 0;
+  }
+  int64_t down_count() const { return down_count_; }
+
+  // Telemetry-blackout degradation: while degraded, the history placement
+  // bonus is suppressed (H places on live availability instead of chasing a
+  // missing day-ago window). Toggling invalidates the slot caches.
+  void SetForecastDegraded(bool degraded);
+  bool forecast_degraded() const { return forecast_degraded_; }
   // Per-telemetry-group parked counts for the energy accountant's per-group
   // slot integration (empty until ConfigureRightSizing).
   const std::vector<int32_t>& group_parked() const { return group_parked_; }
@@ -234,6 +255,9 @@ class ResourceManager {
   // Resyncs one node's cached availability / weight after its allocations
   // changed (container add / remove / reserve kill).
   void ResyncNode(ServerId s);
+  // Parked or down: either way the server contributes {0, 0} availability
+  // and weight 0 (the single predicate every cache site tests).
+  bool IsUnavailable(ServerId s) const { return IsParked(s) || IsDown(s); }
 
   const Cluster* cluster_;
   SchedulerMode mode_;
@@ -268,6 +292,11 @@ class ResourceManager {
   // window (which changes with the request mix).
   std::vector<TraceWindow> park_windows_;
   int64_t park_start_slot_ = kNoSlot;
+
+  // --- Fault state (empty / false until the fault subsystem touches it) ----
+  std::vector<uint8_t> down_;  // per server; lazily sized by SetServerDown
+  int64_t down_count_ = 0;
+  bool forecast_degraded_ = false;
 
   // --- Per-slot caches (mutable: const queries refresh them lazily) -------
   mutable int64_t cached_slot_ = kNoSlot;

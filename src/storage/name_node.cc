@@ -32,6 +32,61 @@ NameNode::NameNode(const Cluster* cluster, std::unique_ptr<PlacementPolicy> poli
   shard_under_replicated_.assign(static_cast<size_t>(shards), 0);
   shard_blocks_lost_.assign(static_cast<size_t>(shards), 0);
   shard_live_replicas_.assign(static_cast<size_t>(shards), 0);
+  num_racks_ = static_cast<int>(num_racks);
+  if (options_.max_inflight_heals_per_shard > 0) {
+    // The lane grouping is canonical (fleet-derived), NOT options_.shards:
+    // nn_shards is execution layout and must not scale the in-flight budget.
+    const int heal_shards = FleetTable::AutoShardCount(cluster->num_servers());
+    server_heal_shard_.reserve(cluster->num_servers());
+    for (const auto& server : cluster->servers()) {
+      server_heal_shard_.push_back(static_cast<int32_t>(
+          num_racks == 0
+              ? 0
+              : static_cast<int64_t>(server.rack) * heal_shards / num_racks));
+    }
+    heal_lanes_.assign(
+        static_cast<size_t>(heal_shards),
+        std::vector<double>(static_cast<size_t>(options_.max_inflight_heals_per_shard),
+                            0.0));
+  }
+}
+
+double NameNode::Backoff(int attempts) const {
+  if (attempts <= 0 || options_.heal_backoff_base_seconds <= 0.0) {
+    return 0.0;
+  }
+  // Exact doubling (binary FP), capped: retry k waits base * 2^(k-1).
+  double backoff = options_.heal_backoff_base_seconds;
+  for (int i = 1; i < attempts && backoff < options_.heal_backoff_max_seconds; ++i) {
+    backoff *= 2.0;
+  }
+  return std::min(backoff, options_.heal_backoff_max_seconds);
+}
+
+void NameNode::NoteHealQueued() {
+  ++heal_backlog_;
+  heal_backlog_peak_ = std::max(heal_backlog_peak_, heal_backlog_);
+}
+
+void NameNode::NoteHealPopped(double ready_time) {
+  --heal_backlog_;
+  if (heal_backlog_ == 0) {
+    heal_backlog_cleared_at_ = ready_time;
+  }
+}
+
+void NameNode::SetRackPartitioned(RackId rack, bool partitioned, double now) {
+  // Heals due before the transition complete under the old reachability.
+  ProcessRereplication(now);
+  if (rack_partitioned_.empty()) {
+    rack_partitioned_.assign(static_cast<size_t>(std::max(num_racks_, 1)), 0);
+  }
+  uint8_t& bit = rack_partitioned_[static_cast<size_t>(rack)];
+  if ((bit != 0) == partitioned) {
+    return;
+  }
+  bit = partitioned ? 1 : 0;
+  partitioned_racks_ += partitioned ? 1 : -1;
 }
 
 bool NameNode::ServerHasSpace(ServerId server, BlockId block) const {
@@ -101,29 +156,67 @@ AccessResult NameNode::Access(BlockId block, double now) {
   return AccessResult::kServedInterfering;
 }
 
-void NameNode::QueueRereplication(BlockId block, double now) {
+void NameNode::QueueRereplication(BlockId block, double now, int attempts) {
   BlockState& state = blocks_[static_cast<size_t>(block)];
   if (state.replicas.empty()) {
     return;  // nothing to copy from; the block is gone
   }
-  // Pick the source replica that frees up first, then push its availability
-  // forward by one throttle interval (30 blocks/hour/server -> 120 s each).
-  const double interval = 3600.0 / options_.rereplication_blocks_per_hour;
-  ServerId best = state.replicas[0];
+  const double delay = options_.detection_delay_seconds + Backoff(attempts);
+  // Pick the reachable source replica that frees up first, then push its
+  // availability forward by one throttle interval (30 blocks/hour/server ->
+  // 120 s each). Replicas behind a partitioned ToR cannot source a copy.
+  ServerId best = kInvalidServer;
   for (ServerId s : state.replicas) {
-    if (source_free_at_[static_cast<size_t>(s)] < source_free_at_[static_cast<size_t>(best)]) {
+    if (IsPartitioned(s)) {
+      continue;
+    }
+    if (best == kInvalidServer ||
+        source_free_at_[static_cast<size_t>(s)] < source_free_at_[static_cast<size_t>(best)]) {
       best = s;
     }
   }
-  double start = std::max(now + options_.detection_delay_seconds,
-                          source_free_at_[static_cast<size_t>(best)]);
+  if (best == kInvalidServer) {
+    // Every surviving replica is partitioned away: queue a probe entry on
+    // the block's home shard. Nothing is copied, no lane or throttle slot is
+    // consumed -- the pop just re-checks reachability (with backoff).
+    ++state.inflight;
+    shard_queues_[static_cast<size_t>(HomeShard(block))].push(
+        PendingRereplication{now + delay, block, kInvalidServer, attempts,
+                             next_heal_seq_++});
+    NoteHealQueued();
+    return;
+  }
+  const double interval = 3600.0 / options_.rereplication_blocks_per_hour;
+  double start = std::max(now + delay, source_free_at_[static_cast<size_t>(best)]);
+  const size_t shard = static_cast<size_t>(ShardOf(best));
+  const size_t lane_shard =
+      heal_lanes_.empty() ? 0
+                          : static_cast<size_t>(
+                                server_heal_shard_[static_cast<size_t>(best)]);
+  size_t lane = 0;
+  if (!heal_lanes_.empty()) {
+    // Bounded in-flight budget: the copy also waits for the earliest free
+    // lane of the source's canonical lane group (ties break to the lowest
+    // lane index).
+    std::vector<double>& lanes = heal_lanes_[lane_shard];
+    for (size_t i = 1; i < lanes.size(); ++i) {
+      if (lanes[i] < lanes[lane]) {
+        lane = i;
+      }
+    }
+    start = std::max(start, lanes[lane]);
+  }
   double done = start + interval;
   source_free_at_[static_cast<size_t>(best)] = done;
+  if (!heal_lanes_.empty()) {
+    heal_lanes_[lane_shard][lane] = done;
+  }
   ++state.inflight;
   // Enqueue on the source's shard; (ready_time, seq) is a total order, so
   // the cross-shard merge pop equals the single-queue pop exactly.
-  shard_queues_[static_cast<size_t>(ShardOf(best))].push(
-      PendingRereplication{done, block, best, next_heal_seq_++});
+  shard_queues_[shard].push(
+      PendingRereplication{done, block, best, attempts, next_heal_seq_++});
+  NoteHealQueued();
 }
 
 void NameNode::OnReimage(ServerId server, double now) {
@@ -197,18 +290,23 @@ void NameNode::ProcessRereplication(double now) {
     HealQueue& best_queue = shard_queues_[static_cast<size_t>(best_shard)];
     PendingRereplication pending = best_queue.top();
     best_queue.pop();
+    NoteHealPopped(pending.ready_time);
     BlockState& state = blocks_[static_cast<size_t>(pending.block)];
     --state.inflight;
     if (state.lost) {
       continue;
     }
     // The copy succeeds only if the source still holds a live replica at
-    // completion time (a reimage in between invalidates it).
+    // completion time (a reimage in between invalidates it) AND is still
+    // reachable (a ToR partition that closed mid-copy drops it). Probe
+    // entries (source == kInvalidServer) always take this retry path:
+    // std::find misses, so IsPartitioned is never asked about the sentinel.
     bool source_alive = std::find(state.replicas.begin(), state.replicas.end(),
                                   pending.source) != state.replicas.end();
-    if (!source_alive) {
+    bool source_usable = source_alive && !IsPartitioned(pending.source);
+    if (!source_usable) {
       if (!state.replicas.empty()) {
-        QueueRereplication(pending.block, pending.ready_time);
+        QueueRereplication(pending.block, pending.ready_time, pending.attempts + 1);
       }
       continue;
     }
@@ -217,9 +315,10 @@ void NameNode::ProcessRereplication(double now) {
     }
     // Destination: the placement policy picks a target diverse against the
     // surviving replicas (HDFS-H preserves Algorithm 2's environment and
-    // row/column constraints; stock HDFS re-runs its rack rules).
+    // row/column constraints; stock HDFS re-runs its rack rules). Servers
+    // behind a partitioned ToR cannot receive the copy.
     auto has_space = [this, &pending](ServerId s) {
-      return s != pending.source && ServerHasSpace(s, pending.block);
+      return s != pending.source && !IsPartitioned(s) && ServerHasSpace(s, pending.block);
     };
     // Order the existing list so the source leads (it acts as the writer in
     // the default policy).
@@ -233,7 +332,13 @@ void NameNode::ProcessRereplication(double now) {
     }
     ServerId destination = policy_->PlaceAdditional(existing, has_space, *rng_);
     if (destination == kInvalidServer) {
-      continue;  // cluster too full to heal; stay under-replicated
+      if (partitioned_racks_ > 0) {
+        // Targets may exist once the partition heals: retry with backoff.
+        // Without partitions this is the legacy "cluster too full" case and
+        // the block simply stays under-replicated.
+        QueueRereplication(pending.block, pending.ready_time, pending.attempts + 1);
+      }
+      continue;
     }
     AddReplicaToServer(pending.block, destination);
     ++stats_.rereplications_completed;
@@ -343,6 +448,23 @@ bool NameNode::AuditStateForTest(std::string* error) const {
   if (inflight_total != queued) {
     return fail("inflight sum " + std::to_string(inflight_total) +
                 " does not match total queued heals " + std::to_string(queued));
+  }
+  if (heal_backlog_ != queued) {
+    return fail("heal backlog counter " + std::to_string(heal_backlog_) +
+                " does not match queued heals " + std::to_string(queued));
+  }
+  if (heal_backlog_peak_ < heal_backlog_) {
+    return fail("heal backlog peak below the current backlog");
+  }
+  if (!rack_partitioned_.empty()) {
+    int64_t partitioned = 0;
+    for (uint8_t bit : rack_partitioned_) {
+      partitioned += bit != 0 ? 1 : 0;
+    }
+    if (partitioned != partitioned_racks_) {
+      return fail("partitioned-rack counter " + std::to_string(partitioned_racks_) +
+                  " does not match the bitmap (" + std::to_string(partitioned) + ")");
+    }
   }
   return true;
 }

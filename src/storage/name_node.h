@@ -64,6 +64,17 @@ struct NameNodeOptions {
   // (FleetTable::AutoShardCount); tests/storage_oracle_test.cc audits the
   // sharded state against the dense single-shard reference.
   int shards = 1;
+  // --- Heal-storm backpressure (src/fault graceful degradation) -----------
+  // Bounded in-flight heal budget per shard: when > 0, a queued heal also
+  // waits for the earliest of this many "lanes" on its source's shard, so a
+  // mass-loss event produces a drain curve bounded by shards x budget x
+  // throttle instead of an unbounded burst. 0 = unlimited (legacy).
+  int max_inflight_heals_per_shard = 0;
+  // Exponential backoff for retried heals (source died / partitioned away /
+  // no target): retry k waits base * 2^(k-1) extra seconds, capped at the
+  // max. base 0 = instant retry (legacy behavior, byte-identical).
+  double heal_backoff_base_seconds = 0.0;
+  double heal_backoff_max_seconds = 7200.0;
 };
 
 struct StorageStats {
@@ -112,6 +123,22 @@ class NameNode {
   // queue / reimage order).
   void ProcessRereplication(double now);
 
+  // ToR partition (src/fault): a partitioned rack keeps serving local
+  // accesses but is invisible to replication -- its replicas cannot source
+  // heals and its servers cannot receive them. Heals due before the
+  // transition are settled first (the call processes the queue up to `now`).
+  void SetRackPartitioned(RackId rack, bool partitioned, double now);
+  bool IsRackPartitioned(RackId rack) const {
+    return partitioned_racks_ > 0 && rack_partitioned_[static_cast<size_t>(rack)] != 0;
+  }
+
+  // Heal-backlog telemetry (the fault stage's drain curve): pending heals
+  // right now, the high-water mark, and the ready_time at which the backlog
+  // last drained to zero.
+  int64_t heal_backlog() const { return heal_backlog_; }
+  int64_t heal_backlog_peak() const { return heal_backlog_peak_; }
+  double heal_backlog_cleared_at() const { return heal_backlog_cleared_at_; }
+
   // Number of live replicas of `block` right now.
   int LiveReplicas(BlockId block) const;
   const std::vector<ServerId>& ReplicaServers(BlockId block) const {
@@ -150,7 +177,13 @@ class NameNode {
   struct PendingRereplication {
     double ready_time = 0.0;
     BlockId block = 0;
+    // kInvalidServer marks a probe entry: every surviving replica was behind
+    // a partitioned ToR at queue time, so nothing is copied -- the pop just
+    // re-evaluates reachability (with backoff).
     ServerId source = kInvalidServer;
+    // Retries so far (source died, partitioned away, or no target); drives
+    // the exponential backoff.
+    int attempts = 0;
     // Global push sequence number: the (ready_time, seq) pair is a total
     // order over all pending heals. Heal completions tie constantly (every
     // block wiped by one reimage and sourced from a fresh server completes
@@ -176,8 +209,14 @@ class NameNode {
       std::priority_queue<PendingRereplication, std::vector<PendingRereplication>, ReadyAfter>;
 
   bool ServerHasSpace(ServerId server, BlockId block) const;
-  // Queues one re-replication for `block`, choosing the least-loaded source.
-  void QueueRereplication(BlockId block, double now);
+  // Queues one re-replication for `block`, choosing the least-loaded
+  // reachable source. `attempts` counts prior tries (adds backoff).
+  void QueueRereplication(BlockId block, double now, int attempts = 0);
+  // Extra delay the k-th retry waits (0 for first tries / legacy config).
+  double Backoff(int attempts) const;
+  // Backlog bookkeeping around every queue push / pop.
+  void NoteHealQueued();
+  void NoteHealPopped(double ready_time);
   // Attaches a replica of `block` on `server`, updating the DN index.
   void AddReplicaToServer(BlockId block, ServerId server);
   bool IsUnderReplicated(const BlockState& state) const {
@@ -186,6 +225,11 @@ class NameNode {
   // The accounting shard of `server` (contiguous rack ranges).
   int32_t ShardOf(ServerId server) const {
     return server_shard_[static_cast<size_t>(server)];
+  }
+  // True when the server sits behind a partitioned ToR (cheap integer
+  // compare on the legacy no-partition path).
+  bool IsPartitioned(ServerId server) const {
+    return partitioned_racks_ > 0 && IsRackPartitioned(cluster_->server(server).rack);
   }
   // The shard a block's loss / under-replication is accounted on: the shard
   // of its first replica at creation, fixed for the block's lifetime (the
@@ -219,6 +263,24 @@ class NameNode {
   std::vector<int64_t> shard_under_replicated_;
   std::vector<int64_t> shard_blocks_lost_;
   std::vector<int64_t> shard_live_replicas_;
+  // --- Fault-injection state (src/fault) ----------------------------------
+  int num_racks_ = 0;
+  // Per-rack partition bits (lazily sized) + live counter; empty/0 on the
+  // legacy path so IsRackPartitioned costs one integer compare.
+  std::vector<uint8_t> rack_partitioned_;
+  int64_t partitioned_racks_ = 0;
+  // Bounded heal lanes (earliest-free completion times); empty when
+  // max_inflight_heals_per_shard == 0. Lanes are grouped by a *canonical*
+  // sharding derived from the fleet alone (AutoShardCount), never by
+  // options.shards: the execution shard count is pure layout and must not
+  // change the total in-flight budget -- results stay byte-identical across
+  // nn_shards.
+  std::vector<int32_t> server_heal_shard_;
+  std::vector<std::vector<double>> heal_lanes_;
+  // Queued heals now / high-water / last time the queue hit zero.
+  int64_t heal_backlog_ = 0;
+  int64_t heal_backlog_peak_ = 0;
+  double heal_backlog_cleared_at_ = 0.0;
   StorageStats stats_;
   // Scratch for ProcessRereplication (keeps the heal path allocation-free).
   std::vector<ServerId> existing_scratch_;

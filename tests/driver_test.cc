@@ -306,7 +306,7 @@ TEST(ResultJsonTest, RendersOverridesAndTopLevelFields) {
   result.scale = 0.5;
   result.overrides = {"fleet_scale=0.5", "run_durability=false"};
   std::string json = RenderScenarioJson(result);
-  EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 6"), std::string::npos);
   EXPECT_NE(json.find("\"trace_source\": \"synthetic\""), std::string::npos);
   EXPECT_NE(json.find("\"fleet_scale=0.5\""), std::string::npos);
   EXPECT_NE(json.find("\"run_durability=false\""), std::string::npos);
@@ -598,6 +598,51 @@ TEST(TraceReplayTest, ValidateScenarioRejectsBadReplayConfigs) {
   config.trace_dir = "definitely/not/a/real/dir";
   error = ValidateScenario(config);
   EXPECT_NE(error.find("not a directory"), std::string::npos) << error;
+}
+
+// ISSUE-8 satellite: the trace manifest records the canonical fault plan of
+// the capturing run, and replaying the directory under a different plan is
+// a config error -- the recorded fleet and any goldens derived from it
+// assume those exact injected events.
+TEST(TraceReplayTest, ReplayRejectsMismatchedFaultPlan) {
+  const std::string dir = FreshTempDir("faultplan");
+  ScenarioConfig config = *FindScenario("reimage_storm");
+  config.fault_plan = "telemetry_blackout:100,200";
+  ScenarioRunOptions options;
+  options.seed = 17;
+  options.scale = 0.05;
+  options.threads = 2;
+  options.dump_traces_dir = dir;
+  RunScenario(config, options);
+  {
+    std::ifstream manifest(dir + "/MANIFEST.txt");
+    const std::string text((std::istreambuf_iterator<char>(manifest)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("fault_plan: telemetry_blackout:100,200"), std::string::npos)
+        << text;
+  }
+
+  ScenarioConfig replay = config;
+  replay.trace_dir = dir;
+  EXPECT_EQ(ValidateScenario(replay), "");  // same plan: accepted
+  // Same plan, different spelling: the comparison is canonical, not textual.
+  replay.fault_plan = "telemetry_blackout:100.0,0200";
+  EXPECT_EQ(ValidateScenario(replay), "");
+  replay.fault_plan = "telemetry_blackout:100,300";
+  std::string error = ValidateScenario(replay);
+  EXPECT_NE(error.find("fault_plan mismatch"), std::string::npos) << error;
+  EXPECT_NE(error.find("telemetry_blackout:100,200"), std::string::npos) << error;
+  replay.fault_plan.clear();
+  error = ValidateScenario(replay);
+  EXPECT_NE(error.find("fault_plan mismatch"), std::string::npos) << error;
+  std::filesystem::remove_all(dir);
+
+  // Manifests written before the fault subsystem have no fault_plan line;
+  // they read as "none", so faulted replays of legacy captures are rejected.
+  ScenarioConfig legacy = *FindScenario("replay_regression");
+  legacy.fault_plan = "dc_outage:10,20";
+  error = ValidateScenario(legacy);
+  EXPECT_NE(error.find("fault_plan mismatch"), std::string::npos) << error;
 }
 
 TEST(DriverPipelineTest, SchedulingStageEmitsPerClassDiagnostics) {

@@ -43,4 +43,32 @@ for threads in 1 8; do
     fi
   done
 done
+
+# The fault presets (ISSUE 8) put the shard axes under correlated failures:
+# mass evictions hit the RM's sharded reserve accounting and the heal storm
+# hits the NameNode's per-lane backpressure (whose lane grouping is
+# canonical, fleet-derived -- nn_shards must not scale the in-flight
+# budget). Both shard knobs crossed with --threads must stay byte-identical.
+for scenario in rack_outage telemetry_blackout partition_heal_storm; do
+  "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" --threads=1 \
+    --set rm_shards=1 --set nn_shards=1 --out="$tmp/fault_ref.raw.json" 2>/dev/null
+  strip_timing "$tmp/fault_ref.raw.json" > "$tmp/fault_ref.json"
+  for threads in 1 8; do
+    for rm_shards in 1 4; do
+      for nn_shards in 1 4; do
+        [ "$threads" -eq 1 ] && [ "$rm_shards" -eq 1 ] && [ "$nn_shards" -eq 1 ] && continue
+        "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" \
+          --threads="$threads" --set rm_shards="$rm_shards" --set nn_shards="$nn_shards" \
+          --out="$tmp/fault_run.raw.json" 2>/dev/null
+        strip_timing "$tmp/fault_run.raw.json" > "$tmp/fault_run.json"
+        if cmp -s "$tmp/fault_ref.json" "$tmp/fault_run.json"; then
+          echo "OK: $scenario threads=$threads rm=$rm_shards nn=$nn_shards matches the 1x1x1 reference"
+        else
+          echo "FAIL: $scenario differs at threads=$threads rm=$rm_shards nn=$nn_shards" >&2
+          status=1
+        fi
+      done
+    done
+  done
+done
 exit $status

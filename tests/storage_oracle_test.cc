@@ -167,6 +167,108 @@ TEST(StorageOracleTest, IncrementalAccountingMatchesDenseRescanSoft) {
   RunShardedAccountingOracle(PlacementKind::kSoft, 505);
 }
 
+// Correlated-failure oracle (ISSUE 8): the same audit discipline under
+// whole-rack kills, ToR partition toggles, and heal-storm backpressure.
+// Every bulk event (a rack's servers all reimaged at one instant) is
+// followed by a full dense rescan, and the sharded runs must still match
+// the single-shard reference exactly -- the k-way merge over per-shard heal
+// lanes is execution layout, never outcome.
+OracleOutcome RunRackKillOracle(PlacementKind kind, uint64_t seed, int shards) {
+  Cluster cluster = BuildOracleCluster(0.3, seed);
+  std::vector<std::vector<ServerId>> rack_servers;
+  for (const Server& server : cluster.servers()) {
+    const size_t rack = static_cast<size_t>(server.rack);
+    if (rack_servers.size() <= rack) {
+      rack_servers.resize(rack + 1);
+    }
+    rack_servers[rack].push_back(server.id);
+  }
+
+  NameNodeOptions options;
+  options.replication = 3;
+  options.shards = shards;
+  options.max_inflight_heals_per_shard = 4;
+  options.heal_backoff_base_seconds = 600.0;
+  options.heal_backoff_max_seconds = 7200.0;
+  Rng policy_rng(seed ^ 0x5eedULL);
+  NameNode nn(&cluster, MakePlacementPolicy(kind, &cluster), options, &policy_rng);
+
+  Rng op_rng(seed ^ 0xfa17c0de5ULL);
+  std::vector<bool> partitioned(rack_servers.size(), false);
+  double t = 0.0;
+  int64_t rack_kills = 0;
+  int64_t partition_flips = 0;
+  for (int op = 0; op < kOperationsPerKind; ++op) {
+    t += op_rng.Bernoulli(0.1) ? op_rng.Uniform(0.0, 5.0 * 86400.0)
+                               : op_rng.Uniform(0.0, 1800.0);
+    const uint64_t what = op_rng.NextBounded(10);
+    if (what < 3 || nn.num_blocks() == 0) {
+      ServerId writer = static_cast<ServerId>(op_rng.NextBounded(cluster.num_servers()));
+      nn.CreateBlock(writer, t);
+    } else if (what < 5) {
+      // Whole-rack kill: every server in one rack reimages at the same
+      // instant -- the correlated bulk event the incremental aggregates and
+      // per-shard heal lanes must absorb without desyncing.
+      const size_t rack = static_cast<size_t>(
+          op_rng.NextBounded(static_cast<uint64_t>(rack_servers.size())));
+      for (ServerId victim : rack_servers[rack]) {
+        nn.OnReimage(victim, t);
+      }
+      ++rack_kills;
+    } else if (what < 7) {
+      const size_t rack = static_cast<size_t>(
+          op_rng.NextBounded(static_cast<uint64_t>(rack_servers.size())));
+      partitioned[rack] = !partitioned[rack];
+      nn.SetRackPartitioned(static_cast<RackId>(rack), partitioned[rack], t);
+      ++partition_flips;
+    } else if (what < 9) {
+      BlockId block = static_cast<BlockId>(
+          op_rng.NextBounded(static_cast<uint64_t>(nn.num_blocks())));
+      nn.ProcessRereplication(t);
+      nn.Access(block, t);
+    } else {
+      nn.ProcessRereplication(t);
+    }
+
+    std::string error;
+    const bool audit_ok = nn.AuditStateForTest(&error);
+    EXPECT_TRUE(audit_ok) << PlacementKindName(kind) << " op " << op << ": " << error;
+    if (!audit_ok) {
+      return OracleOutcome{};
+    }
+  }
+  EXPECT_GT(rack_kills, kOperationsPerKind / 10);
+  EXPECT_GT(partition_flips, kOperationsPerKind / 10);
+  EXPECT_GT(nn.stats().replicas_destroyed, 0);
+  EXPECT_GT(nn.heal_backlog_peak(), 0);
+
+  OracleOutcome outcome;
+  outcome.stats = nn.stats();
+  outcome.under_replicated = nn.UnderReplicatedBlocks();
+  outcome.replicas.reserve(static_cast<size_t>(nn.num_blocks()));
+  for (BlockId b = 0; b < nn.num_blocks(); ++b) {
+    outcome.replicas.push_back(nn.ReplicaServers(b));
+  }
+  return outcome;
+}
+
+void RunShardedRackKillOracle(PlacementKind kind, uint64_t seed) {
+  const OracleOutcome reference = RunRackKillOracle(kind, seed, /*shards=*/1);
+  for (int shards : {3, 8}) {
+    const OracleOutcome sharded = RunRackKillOracle(kind, seed, shards);
+    EXPECT_TRUE(sharded == reference)
+        << PlacementKindName(kind) << " diverged at " << shards << " shards";
+  }
+}
+
+TEST(StorageOracleTest, RackKillOracleMatchesDenseRescanStock) {
+  RunShardedRackKillOracle(PlacementKind::kStock, 606);
+}
+
+TEST(StorageOracleTest, RackKillOracleMatchesDenseRescanHistory) {
+  RunShardedRackKillOracle(PlacementKind::kHistory, 707);
+}
+
 // Dense reference for the event-driven replay: the same shared timeline,
 // replayed in a plain sorted two-cursor loop (time order, reimage before
 // access on ties -- the co-sim's documented ordering contract) against a

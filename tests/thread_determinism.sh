@@ -129,4 +129,29 @@ for scenario in diurnal_pricing power_cap; do
     done
   done
 done
+
+# Fault injection (ISSUE 8) adds two more layout-sensitive consumers: the
+# compiled fault timeline feeds both co-simulations, and the NameNode's heal
+# lanes throttle the heal storm. Neither may move a byte across threads
+# crossed with either shard axis.
+for scenario in rack_outage telemetry_blackout partition_heal_storm; do
+  "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" --threads=1 \
+    --set rm_shards=1 --set nn_shards=1 --out="$tmp/fault.raw.json" 2>/dev/null
+  strip_timing "$tmp/fault.raw.json" > "$tmp/fault.json"
+  for threads in 1 2 8; do
+    for shards in 1 4; do
+      [ "$threads" -eq 1 ] && [ "$shards" -eq 1 ] && continue
+      "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" \
+        --threads="$threads" --set rm_shards="$shards" --set nn_shards="$shards" \
+        --out="$tmp/fault_run.raw.json" 2>/dev/null
+      strip_timing "$tmp/fault_run.raw.json" > "$tmp/fault_run.json"
+      if cmp -s "$tmp/fault.json" "$tmp/fault_run.json"; then
+        echo "OK: $scenario threads=$threads shards=$shards matches the 1x1 reference"
+      else
+        echo "FAIL: $scenario differs at threads=$threads shards=$shards" >&2
+        status=1
+      fi
+    done
+  done
+done
 exit $status

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Repeatable wall-clock + degradation benchmark of the fault-injection
+# subsystem (ISSUE 8).
+#
+# Runs the three fault presets (rack_outage, telemetry_blackout,
+# partition_heal_storm) and records, per preset, the best-of-reps wall
+# clock, the driver's fault-stage timing, and the degradation telemetry the
+# goldens pin -- injected events, heal backlog peak and drain seconds per
+# placement cell, scheduler fault evictions, forecast-degraded seconds --
+# into BENCH_fault.json, the committed trajectory file refreshed
+# deliberately per PR like BENCH_sched.json.
+#
+#   tools/perf_fault.sh [--bin PATH] [--scale F] [--seed N] [--threads N]
+#                       [--reps K] [--out PATH]
+#
+# The committed reference measurement uses --scale 0.1 (CI runs the same
+# configuration and uploads the artifact next to the sched/storage/power
+# benches).
+set -euo pipefail
+
+BIN=build/harvest_sim
+SCALE=0.1
+SEED=42
+THREADS=1
+REPS=2
+OUT=BENCH_fault.json
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --bin) BIN=$2; shift 2 ;;
+    --scale) SCALE=$2; shift 2 ;;
+    --seed) SEED=$2; shift 2 ;;
+    --threads) THREADS=$2; shift 2 ;;
+    --reps) REPS=$2; shift 2 ;;
+    --out) OUT=$2; shift 2 ;;
+    *) echo "perf_fault.sh: unknown argument '$1'" >&2; exit 2 ;;
+  esac
+done
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+PRESETS=(rack_outage telemetry_blackout partition_heal_storm)
+WALLS_ALL=""
+for scenario in "${PRESETS[@]}"; do
+  walls=()
+  for rep in $(seq 1 "$REPS"); do
+    start=$(date +%s%N)
+    "$BIN" --scenario="$scenario" --seed="$SEED" --scale="$SCALE" \
+      --threads="$THREADS" --out="$tmp/$scenario.json" 2>/dev/null
+    end=$(date +%s%N)
+    wall=$(awk -v s="$start" -v e="$end" 'BEGIN{printf "%.3f", (e-s)/1e9}')
+    walls+=("$wall")
+    echo "perf_fault: $scenario rep $rep/$REPS: ${wall}s" >&2
+  done
+  WALLS_ALL="$WALLS_ALL$scenario:${walls[*]};"
+done
+
+TMP="$tmp" SCALE="$SCALE" SEED="$SEED" THREADS="$THREADS" REPS="$REPS" \
+OUT="$OUT" BIN="$BIN" WALLS_ALL="$WALLS_ALL" PRESETS="${PRESETS[*]}" \
+python3 - <<'EOF'
+import json
+import os
+
+walls_by_preset = {}
+for chunk in os.environ["WALLS_ALL"].split(";"):
+    if not chunk:
+        continue
+    name, walls = chunk.split(":")
+    walls_by_preset[name] = [float(w) for w in walls.split()]
+
+bench = {
+    "benchmark": "fault injection: correlated failures + degradation (ISSUE 8)",
+    "seed": int(os.environ["SEED"]),
+    "scale": float(os.environ["SCALE"]),
+    "threads": int(os.environ["THREADS"]),
+    "reps": int(os.environ["REPS"]),
+    "presets": {},
+}
+for name in os.environ["PRESETS"].split():
+    with open(os.path.join(os.environ["TMP"], name + ".json")) as handle:
+        run = json.load(handle)
+    walls = walls_by_preset[name]
+    datacenters = []
+    for dc in run["datacenters"]:
+        faults = dc["faults"]
+        datacenters.append({
+            "name": dc["name"],
+            "plan": faults["plan"],
+            "events": len(faults["events"]),
+            "unavailability_server_seconds":
+                faults["unavailability_server_seconds"],
+            "blackout_seconds": faults["blackout_seconds"],
+            "fault_evictions": faults["fault_evictions"],
+            "forecast_degraded_seconds": faults["forecast_degraded_seconds"],
+            "history_improvement_percent":
+                faults["history_improvement_percent"],
+            "cells": [{
+                "placement": cell["placement"],
+                "lost_blocks": cell["lost_blocks"],
+                "rereplications": cell["rereplications"],
+                "heal_backlog_peak": cell["heal_backlog_peak"],
+                "heal_drain_seconds": cell["heal_drain_seconds"],
+            } for cell in faults["cells"]],
+        })
+    bench["presets"][name] = {
+        "command": "%s --scenario=%s --seed=%s --scale=%s --threads=%s"
+        % (os.environ["BIN"], name, os.environ["SEED"], os.environ["SCALE"],
+           os.environ["THREADS"]),
+        "wall_seconds_per_rep": walls,
+        "wall_seconds": min(walls),
+        "driver_fault_stage_seconds": [
+            dc["fault_seconds"] for dc in run["timing"]["datacenters"]
+        ],
+        "driver_scheduling_seconds": [
+            dc["scheduling_seconds"] for dc in run["timing"]["datacenters"]
+        ],
+        "datacenters": datacenters,
+    }
+with open(os.environ["OUT"], "w") as handle:
+    json.dump(bench, handle, indent=2)
+    handle.write("\n")
+for name, entry in bench["presets"].items():
+    print("perf_fault: %s best of %d reps: %.3fs" %
+          (name, len(entry["wall_seconds_per_rep"]), entry["wall_seconds"]))
+print("perf_fault: wrote %s" % os.environ["OUT"])
+EOF
