@@ -1,6 +1,6 @@
 #include "src/experiments/cluster_scaling.h"
 
-#include <map>
+#include <unordered_map>
 #include <memory>
 
 namespace harvest {
@@ -26,8 +26,9 @@ Cluster ScaleClusterUtilization(const Cluster& cluster, ScalingMethod method,
     PrimaryTenant& tenant = scaled.tenant(static_cast<TenantId>(t));
     tenant.average_utilization = ScaleTrace(tenant.average_utilization, method, parameter);
   }
-  // Scale server traces, re-sharing identical source traces.
-  std::map<const UtilizationTrace*, std::shared_ptr<const UtilizationTrace>> memo;
+  // Scale server traces, re-sharing identical source traces. Lookup-only
+  // (never iterated), so the address key cannot leak into results.
+  std::unordered_map<const UtilizationTrace*, std::shared_ptr<const UtilizationTrace>> memo;
   for (size_t s = 0; s < scaled.num_servers(); ++s) {
     Server& server = scaled.server(static_cast<ServerId>(s));
     if (!server.utilization) {

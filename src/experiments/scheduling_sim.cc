@@ -766,6 +766,7 @@ class SchedulingSimulation {
       // order (every placed container ends exactly once).
       std::vector<ContainerId> live;
       live.reserve(running_.size());
+      // detlint: ordered-ok(keys only, sorted before any result-affecting use)
       for (const auto& [cid, task] : running_) {
         (void)task;
         live.push_back(cid);

@@ -2,7 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
-#include <map>
+#include <unordered_map>
 #include <memory>
 #include <span>
 #include <vector>
@@ -134,7 +134,7 @@ bool WriteClusterTraceFile(const Cluster& cluster, const std::string& path,
   // Deduplicate server traces by object identity so shared traces (one per
   // tenant at datacenter scale) stay shared across the round trip. Indexed
   // in first-appearance (ServerId) order: deterministic for a given cluster.
-  std::map<const UtilizationTrace*, int64_t> trace_index;
+  std::unordered_map<const UtilizationTrace*, int64_t> trace_index;
   std::vector<const UtilizationTrace*> pool;
   for (const Server& server : cluster.servers()) {
     const UtilizationTrace* trace = server.utilization.get();

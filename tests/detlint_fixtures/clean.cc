@@ -1,0 +1,39 @@
+// Fixture: deterministic idioms every rule must stay quiet on -- ordered
+// iteration, unordered lookup-only maps, int64 shard partials, hazard words
+// inside comments and string literals. Never compiled -- detlint input only.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+void ParallelForIndex(int threads, int count, void (*fn)(int));
+
+// Mentioning std::mt19937, rand(), or std::thread in a comment is fine.
+int OrderedIterationAndLookups(const std::vector<std::string>& names) {
+  std::map<std::string, int> ordered;
+  std::unordered_map<std::string, int> lookup_only;
+  for (const std::string& name : names) {
+    ++lookup_only[name];
+  }
+  for (const auto& [name, count] : ordered) {
+    (void)name;
+    (void)count;
+  }
+  auto it = lookup_only.find("dc");
+  const char* note = "strings naming random_device or system_clock are inert";
+  (void)note;
+  return it == lookup_only.end() ? 0 : it->second;
+}
+
+int64_t ExactAccumulation(const std::vector<int64_t>& values) {
+  std::vector<int64_t> partials(4, 0);
+  ParallelForIndex(4, static_cast<int>(values.size()), [&](int shard) {
+    partials[shard] += values[shard];
+  });
+  int64_t total = 0;
+  for (int64_t partial : partials) {
+    total += partial;
+  }
+  return total;
+}

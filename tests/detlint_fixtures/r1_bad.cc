@@ -1,0 +1,24 @@
+// Fixture: R1 must fire on a range-for over an unordered container and on a
+// raw iterator walk. Never compiled -- detlint input only.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int RangeForOverUnordered() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  int total = 0;
+  for (const auto& [name, count] : counts) {  // line 11: R1
+    total += count;
+  }
+  return total;
+}
+
+int IteratorOverUnordered() {
+  std::unordered_set<int> seen;
+  int total = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // line 20: R1
+    total += *it;
+  }
+  return total;
+}

@@ -1,0 +1,26 @@
+// Fixture: a reasoned ordered-ok annotation (above the loop and inline)
+// silences R1. Never compiled -- detlint input only.
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> SortedKeys() {
+  std::unordered_map<std::string, int> counts;
+  std::vector<std::string> keys;
+  // detlint: ordered-ok(keys collected then sorted before any use)
+  for (const auto& [name, count] : counts) {
+    keys.push_back(name);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+int InlineSuppression() {
+  std::unordered_map<std::string, int> counts;
+  int total = 0;
+  for (const auto& [name, count] : counts) {  // detlint: ordered-ok(sum is order-free)
+    total += count;
+  }
+  return total;
+}

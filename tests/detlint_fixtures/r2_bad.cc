@@ -1,0 +1,21 @@
+// Fixture: R2 must fire on every wall-clock / entropy source.
+// Never compiled -- detlint input only.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned SeedFromEntropy() {
+  std::random_device entropy;  // line 9: R2
+  return entropy();
+}
+
+long SeedFromWallClock() {
+  auto now = std::chrono::system_clock::now();  // line 14: R2
+  (void)now;
+  return time(nullptr);  // line 16: R2
+}
+
+int HiddenGlobalState() {
+  return rand();  // line 20: R2
+}

@@ -1,0 +1,14 @@
+// Fixture: R3 must fire on raw standard-library engines.
+// Never compiled -- detlint input only.
+#include <random>
+
+int DrawFromRawEngine() {
+  std::mt19937 engine(42);  // line 6: R3
+  std::uniform_int_distribution<int> dist(0, 9);
+  return dist(engine);
+}
+
+int DrawFromLegacyEngine() {
+  std::default_random_engine engine;  // line 12: R3
+  return static_cast<int>(engine());
+}

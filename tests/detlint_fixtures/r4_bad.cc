@@ -1,0 +1,23 @@
+// Fixture: R4 must fire on pointer-keyed ordered containers and comparators,
+// and stay quiet on value-keyed ones. Never compiled -- detlint input only.
+#include <map>
+#include <set>
+#include <string>
+
+struct Trace {};
+
+int PointerKeyedMap() {
+  std::map<const Trace*, int> index;  // line 10: R4
+  return static_cast<int>(index.size());
+}
+
+int PointerKeyedSet() {
+  std::set<Trace*, std::less<Trace*>> live;  // line 15: R4 (set and less)
+  return static_cast<int>(live.size());
+}
+
+int ValueKeyedMapIsFine() {
+  std::map<std::string, int> by_name;
+  by_name["dc"] = 1;
+  return by_name["dc"];
+}

@@ -1,0 +1,36 @@
+// Fixture: R5 must fire on floating-point accumulation inside a
+// ParallelForIndex lambda (direct, subscripted, and via a vector<double>),
+// and stay quiet on int64 accumulation. Never compiled -- detlint input only.
+#include <cstdint>
+#include <vector>
+
+void ParallelForIndex(int threads, int count, void (*fn)(int));
+
+double RacyScalarSum(const std::vector<double>& values) {
+  double sum = 0.0;
+  ParallelForIndex(4, static_cast<int>(values.size()), [&](int i) {
+    sum += values[i];  // line 12: R5
+  });
+  return sum;
+}
+
+void RacySubscriptSum(std::vector<double>& partials, const std::vector<double>& values) {
+  ParallelForIndex(4, static_cast<int>(values.size()), [&](int i) {
+    partials[i % 2] -= values[i];  // line 19: R5
+  });
+}
+
+// Note the distinct name: the declaration table is file-scoped by design
+// (token-level, no scopes), so reusing a float-typed name for an int64
+// accumulator would still flag -- the annotation is the escape hatch.
+int64_t ExactShardSumIsFine(const std::vector<int64_t>& values) {
+  std::vector<int64_t> shard_totals(4, 0);
+  ParallelForIndex(4, static_cast<int>(values.size()), [&](int shard) {
+    shard_totals[shard] += values[shard];
+  });
+  int64_t total = 0;
+  for (int64_t partial : shard_totals) {
+    total += partial;
+  }
+  return total;
+}

@@ -1,0 +1,18 @@
+// Fixture: a reasoned exact-sum annotation silences R5.
+// Never compiled -- detlint input only.
+#include <vector>
+
+void ParallelForIndex(int threads, int count, void (*fn)(int));
+
+double PerShardPartials(const std::vector<double>& values) {
+  std::vector<double> partials(4, 0.0);
+  ParallelForIndex(4, static_cast<int>(values.size()), [&](int shard) {
+    // detlint: exact-sum(one partial per shard, merged serially in shard order)
+    partials[shard] += values[shard];
+  });
+  double total = 0.0;
+  for (double partial : partials) {
+    total += partial;
+  }
+  return total;
+}

@@ -1,0 +1,15 @@
+// Fixture: R6 must fire on raw std::thread, std::async, and #pragma omp.
+// Never compiled -- detlint input only.
+#include <future>
+#include <thread>
+#include <vector>
+
+void RawThreadPool(const std::vector<int>& work) {
+  std::thread worker([] {});  // line 8: R6
+  worker.join();
+  auto handle = std::async([] { return 1; });  // line 10: R6
+  (void)handle.get();
+#pragma omp parallel for  // line 12: R6
+  for (int i = 0; i < static_cast<int>(work.size()); ++i) {
+  }
+}

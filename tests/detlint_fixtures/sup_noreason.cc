@@ -1,0 +1,15 @@
+// Fixture: a suppression without a reason string is itself a finding
+// (SUP-annotation), and does not resurface the suppressed R1.
+// Never compiled -- detlint input only.
+#include <string>
+#include <unordered_map>
+
+int MissingReason() {
+  std::unordered_map<std::string, int> counts;
+  int total = 0;
+  // detlint: ordered-ok()
+  for (const auto& [name, count] : counts) {
+    total += count;
+  }
+  return total;
+}

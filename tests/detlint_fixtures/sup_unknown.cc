@@ -1,0 +1,14 @@
+// Fixture: an unknown suppression tag is a finding with a did-you-mean
+// suggestion. Never compiled -- detlint input only.
+#include <string>
+#include <unordered_map>
+
+int TypoTag() {
+  std::unordered_map<std::string, int> counts;
+  int total = 0;
+  // detlint: orderd-ok(typo in the tag)
+  for (const auto& [name, count] : counts) {
+    total += count;
+  }
+  return total;
+}

@@ -1,0 +1,14 @@
+// Fixture: an annotation that suppresses nothing is a finding, so stale
+// suppressions cannot rot in place. Never compiled -- detlint input only.
+#include <map>
+#include <string>
+
+int NothingToSuppressHere() {
+  // detlint: ordered-ok(stale: the loop below iterates an ordered map)
+  std::map<std::string, int> counts;
+  int total = 0;
+  for (const auto& [name, count] : counts) {
+    total += count;
+  }
+  return total;
+}

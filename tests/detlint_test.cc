@@ -1,0 +1,176 @@
+// Tests for tools/detlint: each rule fires on its known-bad fixture, each
+// suppression silences it, the suppression grammar is policed (missing
+// reason, unknown tag, unused annotation), and the CLI's exit codes and
+// output format hold. Fixtures live in tests/detlint_fixtures/ and are
+// detlint input only -- they are never compiled, and the repo-wide
+// `detlint src tests` run skips the directory by design.
+
+#include "tools/detlint/detlint.h"
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace detlint {
+namespace {
+
+std::string FixturePath(const std::string& name) {
+  return std::string(DETLINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Finding> LintFixture(const std::string& name, const Options& options = {}) {
+  std::vector<Finding> findings;
+  std::string error;
+  EXPECT_TRUE(LintFile(FixturePath(name), options, &findings, &error)) << error;
+  return findings;
+}
+
+std::vector<int> LinesForRule(const std::vector<Finding>& findings, const std::string& rule) {
+  std::vector<int> lines;
+  for (const Finding& finding : findings) {
+    EXPECT_EQ(finding.rule, rule) << FormatFinding(finding);
+    lines.push_back(finding.line);
+  }
+  return lines;
+}
+
+TEST(DetlintRules, R1FiresOnRangeForAndIteratorOverUnordered) {
+  std::vector<Finding> findings = LintFixture("r1_bad.cc");
+  EXPECT_EQ(LinesForRule(findings, "R1-unordered-iter"), (std::vector<int>{11, 20}));
+}
+
+TEST(DetlintRules, R1SilencedByReasonedAnnotationAboveOrInline) {
+  EXPECT_TRUE(LintFixture("r1_suppressed.cc").empty());
+}
+
+TEST(DetlintRules, R2FiresOnEveryWallClockAndEntropySource) {
+  std::vector<Finding> findings = LintFixture("r2_bad.cc");
+  EXPECT_EQ(LinesForRule(findings, "R2-wallclock"), (std::vector<int>{9, 14, 16, 20}));
+}
+
+TEST(DetlintRules, R3FiresOnRawStdEngines) {
+  std::vector<Finding> findings = LintFixture("r3_bad.cc");
+  EXPECT_EQ(LinesForRule(findings, "R3-raw-rng"), (std::vector<int>{6, 12}));
+}
+
+TEST(DetlintRules, R4FiresOnPointerKeyedOrderedContainersOnly) {
+  std::vector<Finding> findings = LintFixture("r4_bad.cc");
+  // line 15 carries two findings: the std::set and its std::less comparator.
+  EXPECT_EQ(LinesForRule(findings, "R4-addr-order"), (std::vector<int>{10, 15, 15}));
+}
+
+TEST(DetlintRules, R5FiresOnFloatAccumulationInsideParallelLambdas) {
+  std::vector<Finding> findings = LintFixture("r5_bad.cc");
+  EXPECT_EQ(LinesForRule(findings, "R5-float-accum"), (std::vector<int>{12, 19}));
+}
+
+TEST(DetlintRules, R5SilencedByExactSumAnnotation) {
+  EXPECT_TRUE(LintFixture("r5_suppressed.cc").empty());
+}
+
+TEST(DetlintRules, R6FiresOnRawThreadAsyncAndOpenMp) {
+  std::vector<Finding> findings = LintFixture("r6_bad.cc");
+  EXPECT_EQ(LinesForRule(findings, "R6-raw-thread"), (std::vector<int>{8, 10, 12}));
+}
+
+TEST(DetlintRules, CleanIdiomsProduceNoFindings) {
+  EXPECT_TRUE(LintFixture("clean.cc").empty());
+}
+
+TEST(DetlintSuppressions, MissingReasonIsAFindingButStillSuppresses) {
+  std::vector<Finding> findings = LintFixture("sup_noreason.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "SUP-annotation");
+  EXPECT_NE(findings[0].message.find("missing its reason"), std::string::npos);
+}
+
+TEST(DetlintSuppressions, UnknownTagGetsDidYouMeanAndDoesNotSuppress) {
+  std::vector<Finding> findings = LintFixture("sup_unknown.cc");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].rule, "SUP-annotation");
+  EXPECT_NE(findings[0].message.find("did you mean 'ordered-ok'?"), std::string::npos);
+  EXPECT_EQ(findings[1].rule, "R1-unordered-iter");
+}
+
+TEST(DetlintSuppressions, UnusedAnnotationIsAFinding) {
+  std::vector<Finding> findings = LintFixture("sup_unused.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "SUP-annotation");
+  EXPECT_NE(findings[0].message.find("unused suppression"), std::string::npos);
+}
+
+TEST(DetlintAllowlist, DefaultAllowlistCoversTheSanctionedSites) {
+  const std::string timing = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(LintSource("src/driver/pipeline.cc", timing).empty());
+  Options strict;
+  strict.use_default_allowlist = false;
+  EXPECT_EQ(LintSource("src/driver/pipeline.cc", timing, strict).size(), 1u);
+  // Other files get no such pass.
+  EXPECT_EQ(LintSource("src/core/kmeans.cc", timing).size(), 1u);
+}
+
+TEST(DetlintAllowlist, ExtraAllowEntriesMatchByPathSuffix) {
+  Options options;
+  options.extra_allow.emplace_back("R2-wallclock", "r2_bad.cc");
+  EXPECT_TRUE(LintFixture("r2_bad.cc", options).empty());
+  options.extra_allow.clear();
+  options.extra_allow.emplace_back("R3-raw-rng", "r2_bad.cc");  // wrong rule
+  EXPECT_EQ(LintFixture("r2_bad.cc", options).size(), 4u);
+}
+
+TEST(DetlintFormat, FindingRendersAsFileLineRuleMessageWithHint) {
+  std::vector<Finding> findings = LintFixture("r3_bad.cc");
+  ASSERT_FALSE(findings.empty());
+  std::string rendered = FormatFinding(findings[0]);
+  EXPECT_EQ(rendered.rfind(FixturePath("r3_bad.cc") + ":6: R3-raw-rng: ", 0), 0u)
+      << rendered;
+  EXPECT_NE(rendered.find("\n  hint: "), std::string::npos);
+  EXPECT_NE(rendered.find("DerivedStreamSeed"), std::string::npos);
+}
+
+TEST(DetlintCollect, DirectoryWalkSkipsTheFixtureCorpus) {
+  std::filesystem::path tests_dir =
+      std::filesystem::path(DETLINT_FIXTURE_DIR).parent_path();
+  std::vector<std::string> files;
+  std::string error;
+  ASSERT_TRUE(CollectFiles({tests_dir.string()}, &files, &error)) << error;
+  EXPECT_FALSE(files.empty());
+  for (const std::string& file : files) {
+    EXPECT_EQ(file.find("detlint_fixtures"), std::string::npos) << file;
+  }
+}
+
+TEST(DetlintCli, ExitCodesAndSummaryLines) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunDetlint({FixturePath("clean.cc")}, out, err), 0);
+  EXPECT_NE(out.str().find("detlint: clean (1 files)"), std::string::npos);
+
+  out.str("");
+  EXPECT_EQ(RunDetlint({FixturePath("r1_bad.cc")}, out, err), 1);
+  EXPECT_NE(out.str().find("R1-unordered-iter"), std::string::npos);
+  EXPECT_NE(out.str().find("finding(s)"), std::string::npos);
+
+  EXPECT_EQ(RunDetlint({FixturePath("no_such_fixture.cc")}, out, err), 2);
+  EXPECT_EQ(RunDetlint({}, out, err), 2);
+  EXPECT_EQ(RunDetlint({"--allow=bogus", FixturePath("clean.cc")}, out, err), 2);
+
+  out.str("");
+  EXPECT_EQ(RunDetlint({"--list-rules"}, out, err), 0);
+  for (const char* rule : {"R1-unordered-iter", "R2-wallclock", "R3-raw-rng",
+                           "R4-addr-order", "R5-float-accum", "R6-raw-thread"}) {
+    EXPECT_NE(out.str().find(rule), std::string::npos) << rule;
+  }
+}
+
+TEST(DetlintCli, AllowFlagSilencesARuleByPathSuffix) {
+  std::ostringstream out, err;
+  EXPECT_EQ(RunDetlint({"--allow=R2-wallclock:r2_bad.cc", FixturePath("r2_bad.cc")},
+                       out, err),
+            0);
+}
+
+}  // namespace
+}  // namespace detlint

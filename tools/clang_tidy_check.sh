@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs the curated .clang-tidy profile over src/ and pins the warning count:
+# the build fails when the count rises above tools/clang_tidy_baseline, and
+# asks you to ratchet the baseline down when you fix warnings.
+#
+#   tools/clang_tidy_check.sh [--build-dir DIR] [--update-baseline]
+#
+# DIR must hold a compile_commands.json (configure with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON). Exit codes: 0 within budget, 1 count
+# increased, 2 setup error. Skips with exit 0 when clang-tidy is not
+# installed (local convenience; the CI clang-tidy job always has it).
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$root/build"
+update_baseline=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --update-baseline) update_baseline=1; shift ;;
+    *) echo "usage: $0 [--build-dir DIR] [--update-baseline]" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "clang_tidy_check: clang-tidy not installed; skipping (CI runs it)"
+  exit 0
+fi
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "clang_tidy_check: no compile_commands.json in $build_dir" >&2
+  echo "  configure with: cmake -B $build_dir -S $root -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+baseline_file="$root/tools/clang_tidy_baseline"
+baseline="$(tr -d '[:space:]' < "$baseline_file")"
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+# Sources only; headers surface through HeaderFilterRegex. || true: clang-tidy
+# exits nonzero on any warning, but the gate here is the pinned count.
+find "$root/src" -name '*.cc' -print0 | sort -z | \
+  xargs -0 clang-tidy -p "$build_dir" --quiet > "$log" 2> /dev/null || true
+
+count="$(grep -c ' warning: ' "$log" || true)"
+echo "clang_tidy_check: $count warning(s), baseline $baseline"
+
+if [[ "$update_baseline" -eq 1 ]]; then
+  echo "$count" > "$baseline_file"
+  echo "clang_tidy_check: baseline updated to $count"
+  exit 0
+fi
+if [[ "$count" -gt "$baseline" ]]; then
+  echo "clang_tidy_check: FAIL -- warning count rose above the pinned baseline." >&2
+  echo "  New findings (fix them rather than raising the pin):" >&2
+  grep ' warning: ' "$log" | sort | head -40 >&2
+  exit 1
+fi
+if [[ "$count" -lt "$baseline" ]]; then
+  echo "clang_tidy_check: count dropped below baseline -- ratchet it down:"
+  echo "  echo $count > tools/clang_tidy_baseline"
+fi
+exit 0

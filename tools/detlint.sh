@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the determinism linter over src/ + tests/ exactly the way CI and
+# `ctest -R detlint` do, so local and CI runs can never disagree.
+#
+#   tools/detlint.sh [extra detlint args...]
+#
+# Locates an already-built detlint binary (DETLINT_BIN overrides; build/,
+# build/release, build/debug, build/tsan searched in that order) and builds
+# one into build/ when none exists. See tools/detlint/detlint.h for the rule
+# table; `detlint --list-rules` prints it.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+bin="${DETLINT_BIN:-}"
+if [[ -z "$bin" ]]; then
+  for candidate in "$root"/build/detlint "$root"/build/release/detlint \
+                   "$root"/build/debug/detlint "$root"/build/tsan/detlint; do
+    if [[ -x "$candidate" ]]; then
+      bin="$candidate"
+      break
+    fi
+  done
+fi
+if [[ -z "$bin" ]]; then
+  echo "detlint.sh: no built binary found; building into $root/build" >&2
+  cmake -B "$root/build" -S "$root" > /dev/null
+  cmake --build "$root/build" --target detlint -j > /dev/null
+  bin="$root/build/detlint"
+fi
+
+exec "$bin" "$@" "$root/src" "$root/tests"

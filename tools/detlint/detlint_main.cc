@@ -1,0 +1,13 @@
+// CLI entry point; all behavior lives in the library so tests can drive it
+// in-process. See tools/detlint/detlint.h for the rule table.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/detlint/detlint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return detlint::RunDetlint(args, std::cout, std::cerr);
+}
